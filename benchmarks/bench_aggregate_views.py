@@ -1,0 +1,8 @@
+"""[19] connection — aggregate-view refresh: incremental vs recompute."""
+
+from repro.bench.experiments import aggregate_views
+
+
+def test_aggregate_views(run_experiment):
+    result = run_experiment(aggregate_views.run)
+    assert result.series["incremental_ms"][0] < result.series["recompute_ms"][0]

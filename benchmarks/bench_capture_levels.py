@@ -1,0 +1,9 @@
+"""§2.4 — capture-level comparison across the reference architecture."""
+
+from repro.bench.experiments import capture_levels
+
+
+def test_capture_levels(run_experiment):
+    result = run_experiment(capture_levels.run)
+    trig, opd, mid = result.series["transport_bytes"]
+    assert trig > opd > mid

@@ -1,0 +1,82 @@
+"""Microbenchmarks of the engine primitives (real wall-clock time).
+
+Unlike the experiment benches (which report deterministic *virtual* time),
+these measure the Python implementation itself: row codec, page ops, SQL
+parsing, DML statements, scans.  Useful for catching performance
+regressions in the substrate that the experiments run on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import Database
+from repro.engine.rows import decode_row, encode_row
+from repro.sql.parser import parse
+from repro.workloads import OltpWorkload, PartsGenerator, parts_schema
+
+
+@pytest.fixture(scope="module")
+def populated():
+    database = Database("micro")
+    workload = OltpWorkload(database)
+    workload.create_table()
+    workload.populate(10_000)
+    return database, workload
+
+
+def test_row_codec_roundtrip(benchmark):
+    schema = parts_schema()
+    row = PartsGenerator().row(42, timestamp=123.0)
+
+    def roundtrip():
+        return decode_row(schema, encode_row(schema, row))
+
+    assert benchmark(roundtrip)[0] == 42
+
+
+def test_sql_parse_update(benchmark):
+    sql = (
+        "UPDATE parts SET status = 'revised', price = price * 1.05 "
+        "WHERE quantity > 10 AND supplier_id IN (1, 2, 3)"
+    )
+    statement = benchmark(parse, sql)
+    assert statement.table == "parts"
+
+
+def test_insert_statement(benchmark, populated):
+    database, workload = populated
+    session = database.internal_session()
+    counter = iter(range(10_000_000, 99_000_000))
+
+    def insert():
+        part_id = next(counter)
+        session.execute(
+            f"INSERT INTO parts VALUES ({part_id}, {part_id}, 'PN-X', 'd', "
+            f"'new', 1, 1.0, NULL, 1)"
+        )
+
+    benchmark(insert)
+
+
+def test_indexed_point_query(benchmark, populated):
+    database, _workload = populated
+    session = database.internal_session()
+    rows = benchmark(session.query, "SELECT * FROM parts WHERE part_id = 5000")
+    assert len(rows) == 1
+
+
+def test_full_scan_aggregate(benchmark, populated):
+    database, _workload = populated
+    session = database.internal_session()
+    count = benchmark(session.scalar, "SELECT COUNT(*) FROM parts")
+    assert count >= 10_000
+
+
+def test_sized_update_transaction(benchmark, populated):
+    database, workload = populated
+
+    def update():
+        return workload.run_update(100).response_ms
+
+    assert benchmark(update) > 0

@@ -1,0 +1,8 @@
+"""Figure 2 — insert/delete/update trigger overhead vs transaction size."""
+
+from repro.bench.experiments import fig2
+
+
+def test_fig2_trigger_overhead(run_experiment):
+    result = run_experiment(fig2.run)
+    assert result.series["update_overhead"][-1] > result.series["insert_overhead"][-1]

@@ -1,0 +1,9 @@
+"""Figure 3 — Op-Delta capture overhead vs transaction size."""
+
+from repro.bench.experiments import fig3
+
+
+def test_fig3_opdelta_overhead(run_experiment):
+    result = run_experiment(fig3.run)
+    # delete/update capture is effectively constant cost → tiny overhead.
+    assert result.series["delete_overhead"][-2] < 0.01

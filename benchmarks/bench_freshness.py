@@ -1,0 +1,9 @@
+"""§1 — end-to-end freshness: polling vs streaming Op-Delta."""
+
+from repro.bench.experiments import freshness
+
+
+def test_freshness(run_experiment):
+    result = run_experiment(freshness.run)
+    stream = result.series["stream_mean_staleness_ms"][0]
+    assert all(stream < p for p in result.series["poll_mean_staleness_ms"])

@@ -1,0 +1,8 @@
+"""Ablation — hybrid Op-Delta capture (operation + before image)."""
+
+from repro.bench.experiments import hybrid_capture
+
+
+def test_hybrid_capture(run_experiment):
+    result = run_experiment(hybrid_capture.run)
+    assert result.series["hybrid_overhead"][0] < result.series["trigger_overhead"][0]

@@ -1,0 +1,8 @@
+"""§4.1 — warehouse maintenance window, Op-Delta vs value delta."""
+
+from repro.bench.experiments import maintenance_window
+
+
+def test_maintenance_window(run_experiment):
+    result = run_experiment(maintenance_window.run)
+    assert result.series["update_window_reduction"][-1] > 0.5

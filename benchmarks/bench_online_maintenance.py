@@ -1,0 +1,9 @@
+"""§4.1 — warehouse availability during maintenance (DES experiment)."""
+
+from repro.bench.experiments import online_maintenance
+
+
+def test_online_maintenance(run_experiment):
+    result = run_experiment(online_maintenance.run)
+    batch_sla, online_sla = result.series["queries_within_sla"]
+    assert online_sla > batch_sla

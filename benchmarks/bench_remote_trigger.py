@@ -1,0 +1,8 @@
+"""§3.1.3 — triggers capturing into an external database."""
+
+from repro.bench.experiments import remote_trigger
+
+
+def test_remote_trigger_capture(run_experiment):
+    result = run_experiment(remote_trigger.run)
+    assert min(result.series["capture_factor_lan"]) >= 10.0

@@ -1,0 +1,8 @@
+"""Robustness — the headline conclusions under cost-model perturbations."""
+
+from repro.bench.experiments import sensitivity
+
+
+def test_sensitivity(run_experiment):
+    result = run_experiment(sensitivity.run)
+    assert min(result.series["update_window_reduction"]) > 0.3

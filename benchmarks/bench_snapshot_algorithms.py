@@ -1,0 +1,9 @@
+"""§3.1.2 ablation — LGM snapshot-differential algorithms."""
+
+from repro.bench.experiments import snapshot_algorithms
+
+
+def test_snapshot_algorithms(run_experiment):
+    result = run_experiment(snapshot_algorithms.run)
+    costs = result.series["diff_cost_ms"]
+    assert costs[1] < costs[0]  # sort-merge beats naive

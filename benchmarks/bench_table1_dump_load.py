@@ -1,0 +1,9 @@
+"""Table 1 — Export / Import / DBMS Loader dump-and-load techniques."""
+
+from repro.bench.experiments import table1
+
+
+def test_table1_dump_load(run_experiment):
+    result = run_experiment(table1.run)
+    # Export is the fast proprietary path; Import the slow one.
+    assert result.series["export"][-1] < result.series["import"][-1]

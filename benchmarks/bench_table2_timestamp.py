@@ -1,0 +1,8 @@
+"""Table 2 — timestamp-based delta extraction (file/table/table+Export)."""
+
+from repro.bench.experiments import table2
+
+
+def test_table2_timestamp_extraction(run_experiment):
+    result = run_experiment(table2.run)
+    assert result.series["file_output"][0] < result.series["table_output"][0]

@@ -1,0 +1,10 @@
+"""Table 3 — end-to-end extract+load pipelines."""
+
+from repro.bench.experiments import table3
+
+
+def test_table3_total_extract_and_load(run_experiment):
+    result = run_experiment(table3.run)
+    a = result.series["ts_file_plus_loader"]
+    b = result.series["ts_table_export_import"]
+    assert b[-1] / a[-1] >= 2.0

@@ -1,0 +1,8 @@
+"""Table 4 — source-transaction response time, DB log vs file log."""
+
+from repro.bench.experiments import table4
+
+
+def test_table4_dblog_vs_filelog(run_experiment):
+    result = run_experiment(table4.run)
+    assert result.series["insert_dblog"][-1] > result.series["insert_filelog"][-1]

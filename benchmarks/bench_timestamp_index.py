@@ -1,0 +1,8 @@
+"""Ablation — timestamp-column index and the optimizer's selectivity cutoff."""
+
+from repro.bench.experiments import timestamp_index
+
+
+def test_timestamp_index(run_experiment):
+    result = run_experiment(timestamp_index.run)
+    assert result.series["with_index_ms"][0] < result.series["no_index_ms"][0]

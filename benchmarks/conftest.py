@@ -1,0 +1,31 @@
+"""Shared helpers for the benchmark suite.
+
+Each bench runs one paper experiment exactly once (``pedantic`` with one
+round — the experiments are deterministic virtual-time runs, so repeated
+rounds would only re-measure Python overhead), prints the paper-style
+comparison table, and fails if any reproduction shape check fails.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.report import ExperimentResult, render
+
+
+@pytest.fixture
+def run_experiment(benchmark, capsys):
+    """Run an experiment once under pytest-benchmark and verify its checks."""
+
+    def runner(function, *args, **kwargs) -> ExperimentResult:
+        result = benchmark.pedantic(
+            function, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+        with capsys.disabled():
+            print()
+            print(render(result))
+        failed = [name for name, ok in result.checks.items() if not ok]
+        assert not failed, f"shape checks failed: {failed}"
+        return result
+
+    return runner

@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""The §2 scenario: delta extraction from a COTS-integrated enterprise.
+
+Two COTS systems running *different DBMS products*, range-partitioned parts
+data, COTS-controlled replication to a reporting replica, and no global
+transaction coordination.  The example shows why database-level extraction
+struggles here — and how Op-Delta's wrapper-level capture sidesteps every
+hazard.
+
+Run:  python examples/cots_enterprise.py
+"""
+
+from repro.core import FileLogStore, OpDeltaCapture
+from repro.engine import export_table, import_dump
+from repro.engine.remote import LinkKind
+from repro.errors import ExtractionError, UtilityError
+from repro.extraction import TriggerExtractor
+from repro.sources import CotsSystem, IntegratedEnterprise, Reconciler, ReplicationLink
+from repro.warehouse import OpDeltaIntegrator, Warehouse
+from repro.workloads import parts_schema, strip_timestamp
+
+
+def main() -> None:
+    # --- the enterprise ---------------------------------------------------
+    enterprise = IntegratedEnterprise()
+    crm = CotsSystem("crm", clock=enterprise.clock, allows_triggers=True)
+    erp = CotsSystem(
+        "erp", clock=enterprise.clock, product="OtherDB",  # heterogeneity
+    )
+    enterprise.add_system(crm, 0, 50_000)
+    enterprise.add_system(erp, 50_000, 100_000)
+    enterprise.load(2_000)
+
+    replica = CotsSystem("reporting-replica", clock=enterprise.clock,
+                         allows_triggers=True)
+    replica.load_parts(2_000)
+    link = ReplicationLink(crm, replica, LinkKind.LAN)
+    print("enterprise: crm (ReproDB) + erp (OtherDB), parts partitioned,")
+    print("            crm replicated to a reporting replica over the LAN\n")
+
+    # --- hazard 1: encapsulation ------------------------------------------
+    try:
+        erp.open_database_for_triggers()
+    except ExtractionError as exc:
+        print(f"[encapsulation] {exc}\n")
+
+    # --- hazard 2: heterogeneity ------------------------------------------
+    dump = export_table(crm.vendor_database(), "parts")
+    try:
+        import_dump(erp.vendor_database(), dump, table_name="staged")
+    except UtilityError as exc:
+        print(f"[heterogeneity] {exc}\n")
+
+    # --- hazard 3: replication duplicates ---------------------------------
+    crm_cdc = TriggerExtractor(crm.open_database_for_triggers(), "parts")
+    crm_cdc.install()
+    replica_cdc = TriggerExtractor(replica.open_database_for_triggers(), "parts")
+    replica_cdc.install()
+    crm.revise_parts(0, 200)
+    batches = {
+        "crm": crm_cdc.drain_to_batch(),
+        "replica": replica_cdc.drain_to_batch(),
+    }
+    print(
+        "[replication] database-level triggers captured "
+        f"{len(batches['crm'])} + {len(batches['replica'])} deltas "
+        "for 200 logical changes"
+    )
+    result = Reconciler("crm").reconcile(batches)
+    print(
+        f"[reconciliation] {result.duplicates_dropped} duplicates dropped, "
+        f"{len(result.conflicts)} conflicts -> {len(result.batch)} "
+        "authoritative deltas\n"
+    )
+
+    # --- Op-Delta: capture above all of it ---------------------------------
+    store = FileLogStore(crm.vendor_database())
+    OpDeltaCapture(crm.wrapper_session, store, tables={"parts"}).attach()
+    crm.revise_parts(200, 400)
+    crm.retire_parts(400, 450)
+    groups = store.drain()
+    operations = sum(len(group) for group in groups)
+    volume = sum(group.size_bytes for group in groups)
+    print(
+        f"[op-delta] the same class of activity captured as {operations} "
+        f"operations in {len(groups)} transactions ({volume} bytes), once —"
+    )
+    print("           no triggers, no log access, no reconciliation needed")
+
+    # --- and it integrates across products ---------------------------------
+    warehouse = Warehouse(clock=enterprise.clock, product="WarehouseDB")
+    warehouse.create_mirror(parts_schema())
+    warehouse.initial_load_rows("parts", crm.part_rows())
+    # Rebase the mirror to the pre-captured state? No — the capture started
+    # after revise(0,200), and the mirror loaded the current state, so only
+    # replay what was captured after the load:
+    report = OpDeltaIntegrator(warehouse.database.internal_session()).integrate([])
+    del report
+
+    store2 = FileLogStore(crm.vendor_database())
+    OpDeltaCapture(crm.wrapper_session, store2, tables={"parts"}).attach()
+    crm.reprice_supplier(3, 1.07)
+    report = OpDeltaIntegrator(
+        warehouse.database.internal_session()
+    ).integrate(store2.drain())
+    schema = parts_schema()
+    assert strip_timestamp(schema, crm.part_rows()) == strip_timestamp(
+        schema, (v for _r, v in warehouse.database.table("parts").scan())
+    )
+    print(
+        f"\n[integration] {report.transactions} transaction replayed onto a "
+        "different warehouse product; mirror verified row-for-row"
+    )
+
+    # --- bonus: global serializability gap ---------------------------------
+    before = enterprise.total_quantity([0, 50_000])
+    enterprise.interleaved_transfers(0, 50_000, 5, 3)
+    after = enterprise.total_quantity([0, 50_000])
+    print(
+        f"\n[distribution] two cross-system transfers interleaved without a "
+        f"global coordinator (stock conserved: {before} -> {after}); only "
+        "business-level capture can preserve their boundaries"
+    )
+    del link
+
+
+if __name__ == "__main__":
+    main()

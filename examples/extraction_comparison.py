@@ -1,0 +1,187 @@
+#!/usr/bin/env python3
+"""Compare all five delta-extraction methods on the same workload.
+
+For one churn burst against a PARTS table, measure what the paper's §3/§4
+analysis predicts for each method:
+
+* source-side capture overhead (response-time impact on the user txns);
+* extraction cost (the work to get deltas out);
+* transport volume (what must cross the LAN);
+* completeness (every state change? deletes visible?).
+
+Run:  python examples/extraction_comparison.py
+"""
+
+from dataclasses import dataclass
+
+from repro.clock import format_duration
+from repro.core import FileLogStore, OpDeltaCapture
+from repro.engine import Database, take_snapshot
+from repro.extraction import (
+    LogExtractor,
+    TimestampExtractor,
+    TriggerExtractor,
+    diff_snapshots,
+)
+from repro.workloads import OltpWorkload
+
+TABLE_ROWS = 20_000
+UPDATE_ROWS = 1_000
+DELETE_ROWS = 200
+INSERT_ROWS = 200
+
+
+@dataclass
+class MethodReport:
+    name: str
+    capture_overhead_ms: float
+    extraction_ms: float
+    transport_bytes: int
+    state_changes_seen: int
+    sees_deletes: bool
+    notes: str
+
+
+def fresh_source(archive: bool = False):
+    database = Database("cmp-source", archive_mode=archive)
+    workload = OltpWorkload(database)
+    workload.create_table()
+    workload.populate(TABLE_ROWS)
+    database.checkpoint()
+    if archive:
+        database.log.drain_archive()
+    return database, workload
+
+
+def run_churn(workload) -> float:
+    """The common workload; returns its total response time."""
+    clock = workload.database.clock
+    with clock.stopwatch() as watch:
+        workload.run_update(UPDATE_ROWS, assignment="status = 'step1'")
+        workload.run_update(UPDATE_ROWS, assignment="status = 'step2'")
+        workload.run_delete(DELETE_ROWS, top_up=False)
+        workload.run_insert(INSERT_ROWS)
+    return watch.elapsed
+
+
+def baseline() -> float:
+    _database, workload = fresh_source()
+    return run_churn(workload)
+
+
+def timestamp_method(base_ms: float) -> MethodReport:
+    database, workload = fresh_source()
+    cutoff = database.clock.timestamp()
+    churn_ms = run_churn(workload)
+    extractor = TimestampExtractor(database, "parts")
+    with database.clock.stopwatch() as watch:
+        outcome = extractor.extract_to_file(cutoff)
+    return MethodReport(
+        "timestamp", churn_ms - base_ms, watch.elapsed,
+        outcome.file.size_bytes, outcome.rows_extracted, sees_deletes=False,
+        notes="final states only; scan of the whole table",
+    )
+
+
+def snapshot_method(base_ms: float) -> MethodReport:
+    database, workload = fresh_source()
+    with database.clock.stopwatch() as dumps:
+        old = take_snapshot(database, "parts")
+    churn_ms = run_churn(workload)
+    with database.clock.stopwatch() as second_dump:
+        new = take_snapshot(database, "parts")
+    with database.clock.stopwatch() as diff_watch:
+        batch = diff_snapshots(database, old, new, "sort_merge")
+    return MethodReport(
+        "snapshot-diff", churn_ms - base_ms,
+        dumps.elapsed + second_dump.elapsed + diff_watch.elapsed,
+        batch.size_bytes, len(batch), sees_deletes=True,
+        notes="two full dumps + compare; final states only",
+    )
+
+
+def trigger_method(base_ms: float) -> MethodReport:
+    database, workload = fresh_source()
+    extractor = TriggerExtractor(database, "parts")
+    extractor.install()
+    churn_ms = run_churn(workload)
+    with database.clock.stopwatch() as watch:
+        dump = extractor.ascii_dump_delta_table()
+    changes = dump.num_records  # update rows appear twice (B + A images)
+    return MethodReport(
+        "trigger", churn_ms - base_ms, watch.elapsed, dump.size_bytes,
+        changes, sees_deletes=True,
+        notes="every state change; cost inside user txns",
+    )
+
+
+def log_method(base_ms: float) -> MethodReport:
+    database, workload = fresh_source(archive=True)
+    churn_ms = run_churn(workload)
+    extractor = LogExtractor(database, tables={"parts"})
+    with database.clock.stopwatch() as watch:
+        outcome = extractor.extract()
+    batch = outcome.batches["parts"]
+    return MethodReport(
+        "archive-log", churn_ms - base_ms, watch.elapsed, outcome.log_bytes,
+        len(batch), sees_deletes=True,
+        notes="logged anyway; same product+schema required",
+    )
+
+
+def opdelta_method(base_ms: float) -> MethodReport:
+    database, workload = fresh_source()
+    store = FileLogStore(database)
+    OpDeltaCapture(workload.session, store, tables={"parts"}).attach()
+    churn_ms = run_churn(workload)
+    with database.clock.stopwatch() as watch:
+        groups = store.drain()
+    volume = sum(group.size_bytes for group in groups)
+    operations = sum(len(group) for group in groups)
+    return MethodReport(
+        "op-delta", churn_ms - base_ms, watch.elapsed, volume, operations,
+        sees_deletes=True,
+        notes="operations, not images; txn boundaries preserved",
+    )
+
+
+def main() -> None:
+    base_ms = baseline()
+    print(f"workload: {2 * UPDATE_ROWS} updated + {DELETE_ROWS} deleted + "
+          f"{INSERT_ROWS} inserted rows over a {TABLE_ROWS}-row table")
+    print(f"uninstrumented workload response time: {format_duration(base_ms)}\n")
+
+    reports = [
+        timestamp_method(base_ms),
+        snapshot_method(base_ms),
+        trigger_method(base_ms),
+        log_method(base_ms),
+        opdelta_method(base_ms),
+    ]
+    header = (
+        f"{'method':<14}{'capture ovh':>12}{'extract':>10}"
+        f"{'transport':>12}{'changes':>9}{'deletes?':>10}"
+    )
+    print(header)
+    print("-" * len(header))
+    for r in reports:
+        print(
+            f"{r.name:<14}{format_duration(max(0.0, r.capture_overhead_ms)):>12}"
+            f"{format_duration(r.extraction_ms):>10}"
+            f"{r.transport_bytes:>11,}B{r.state_changes_seen:>9}"
+            f"{'yes' if r.sees_deletes else 'NO':>10}"
+        )
+    print()
+    for r in reports:
+        print(f"  {r.name:<14} {r.notes}")
+
+    op = next(r for r in reports if r.name == "op-delta")
+    trig = next(r for r in reports if r.name == "trigger")
+    print(
+        f"\nOp-Delta transport volume is {trig.transport_bytes / op.transport_bytes:,.0f}x "
+        "smaller than the trigger value deltas for this workload — the §4.1 effect."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Log shipping: the archive-log method's natural habitat (§3.1.4).
+
+Archive-log extraction has the least source impact of all the methods —
+"redo logs are being captured anyway" — but it "can only fully re-create a
+database much like a recovery manager does".  This example builds exactly
+that: a hot standby maintained by shipping archived WAL segments, then
+demonstrates every rigidity the paper lists:
+
+* the standby must run the same product and version;
+* the schemas must match exactly;
+* aborted transactions never reach the standby;
+* the standby is byte-faithful (even timestamps match) — and that is all
+  it can ever be: no transformation, no subsetting, no warehouse schema.
+
+Run:  python examples/hot_standby.py
+"""
+
+from repro.clock import format_duration
+from repro.engine import (
+    Database,
+    clone_schemas,
+    recover_from_archive,
+)
+from repro.errors import LogError, RecoveryError
+from repro.extraction import LogExtractor
+from repro.transport import FileShipper, NetworkModel
+from repro.workloads import OltpWorkload
+
+
+def main() -> None:
+    # --- primary with archiving on ---------------------------------------
+    primary = Database("primary", archive_mode=True)
+    workload = OltpWorkload(primary)
+    workload.create_table()
+    workload.populate(5_000)
+    print(f"primary loaded: {workload.live_rows} rows (archive mode on)")
+
+    # Business activity, including an aborted transaction.
+    workload.run_update(400, assignment="status = 'revised'")
+    workload.run_insert(150)
+    workload.run_delete(80, top_up=False)
+    session = workload.session
+    session.execute("BEGIN")
+    session.execute("UPDATE parts SET status = 'ghost' WHERE part_ref < 999")
+    session.execute("ROLLBACK")
+    print("activity: 400 updated, 150 inserted, 80 deleted, 1 txn aborted")
+
+    # --- ship the archive and recover the standby -------------------------
+    primary.checkpoint()
+    segments = primary.log.drain_archive()
+    network = NetworkModel(primary.clock)
+    ship_ms = FileShipper(network).ship_log_segments(segments)
+    record_count = sum(len(segment) for segment in segments)
+    print(f"shipped {len(segments)} segment(s), {record_count} log records "
+          f"in {format_duration(ship_ms)}")
+
+    standby = Database("standby", clock=primary.clock)
+    clone_schemas(primary, standby)
+    with primary.clock.stopwatch() as watch:
+        applied = recover_from_archive(standby, segments)
+    print(f"standby redo: {applied} changes in {format_duration(watch.elapsed)}")
+
+    primary_rows = sorted(v for _r, v in primary.table("parts").scan())
+    standby_rows = sorted(v for _r, v in standby.table("parts").scan())
+    assert primary_rows == standby_rows
+    print("standby is byte-faithful (timestamps included) — and no 'ghost' "
+          "rows: the aborted transaction never shipped\n")
+
+    # --- the §3.1.4 rigidities, demonstrated -------------------------------
+    workload.run_update(50)
+    primary.checkpoint()
+    fresh = primary.log.drain_archive()
+
+    other_product = Database("oracle-alike", clock=primary.clock,
+                             product="OtherDB")
+    clone_schemas(primary, other_product)
+    try:
+        recover_from_archive(other_product, fresh)
+    except LogError as exc:
+        print(f"[cross-product]  {exc}")
+
+    newer_version = Database("next-release", clock=primary.clock,
+                             product_version="2.0")
+    clone_schemas(primary, newer_version)
+    try:
+        recover_from_archive(newer_version, fresh)
+    except LogError as exc:
+        print(f"[version skew]   {exc}")
+
+    bare = Database("no-schema", clock=primary.clock)
+    try:
+        recover_from_archive(bare, fresh)
+    except RecoveryError as exc:
+        print(f"[schema match]   {exc}")
+
+    # The same segments CAN also be decoded into value deltas for a real
+    # warehouse — at which point the schema/transformation burden moves to
+    # the integrator (see tests/test_integration_pipelines.py).
+    recover_from_archive(standby, fresh)
+    extractor_demo = LogExtractor  # (decoding path; see the pipeline tests)
+    del extractor_demo
+    print("\nstandby caught up with the next archive generation — the "
+          "log-shipping loop is: checkpoint, ship, redo, repeat")
+
+
+if __name__ == "__main__":
+    main()

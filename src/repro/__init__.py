@@ -1,0 +1,21 @@
+"""Reproduction of Ram & Do, "Extracting Delta for Incremental Data
+Warehouse Maintenance" (ICDE 2000).
+
+Layering (bottom-up):
+
+* :mod:`repro.clock` / :mod:`repro.engine` — virtual-time mini DBMS substrate
+* :mod:`repro.sql` — SQL front end (Op-Deltas are SQL statements)
+* :mod:`repro.extraction` — the four value-delta methods of §3
+* :mod:`repro.core` — **Op-Delta**, the paper's contribution (§4)
+* :mod:`repro.warehouse` — delta integration and online maintenance
+* :mod:`repro.transport`, :mod:`repro.sources`, :mod:`repro.workloads` —
+  transport, COTS-integrated source architectures, synthetic workloads
+* :mod:`repro.sim` — discrete-event kernel for the availability experiments
+* :mod:`repro.bench` — the per-table/figure experiment harness
+"""
+
+from .clock import VirtualClock, format_duration
+
+__version__ = "1.0.0"
+
+__all__ = ["VirtualClock", "format_duration", "__version__"]

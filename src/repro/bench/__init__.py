@@ -1,0 +1,5 @@
+"""Benchmark harness: paper data, experiment runners, comparison reports."""
+
+from .report import ExperimentResult, render
+
+__all__ = ["ExperimentResult", "render"]

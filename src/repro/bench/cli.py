@@ -1,0 +1,63 @@
+"""``repro-bench``: run paper experiments from the command line.
+
+Examples::
+
+    repro-bench --list
+    repro-bench table4
+    repro-bench all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .experiments import REGISTRY
+from .report import render
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description=(
+            "Reproduce the tables and figures of Ram & Do, 'Extracting "
+            "Delta for Incremental Data Warehouse Maintenance' (ICDE 2000)."
+        ),
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment ids to run (or 'all'); see --list",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list available experiments"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list or not args.experiments:
+        for name in REGISTRY:
+            print(name)
+        return 0
+
+    wanted = list(REGISTRY) if args.experiments == ["all"] else args.experiments
+    unknown = [name for name in wanted if name not in REGISTRY]
+    if unknown:
+        print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(REGISTRY)}", file=sys.stderr)
+        return 2
+
+    failed = []
+    for name in wanted:
+        result = REGISTRY[name]()
+        print(render(result))
+        print()
+        if not result.all_checks_pass:
+            failed.append(name)
+    if failed:
+        print(f"shape checks FAILED for: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

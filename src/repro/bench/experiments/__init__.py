@@ -1,0 +1,51 @@
+"""One module per reproduced table/figure, plus ablations.
+
+Each module exposes ``run(**params) -> ExperimentResult``.  The registry
+maps experiment ids to their runners for the CLI and the benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..report import ExperimentResult
+from . import (
+    aggregate_views,
+    capture_levels,
+    fig2,
+    fig3,
+    freshness,
+    hybrid_capture,
+    maintenance_window,
+    online_maintenance,
+    remote_trigger,
+    sensitivity,
+    snapshot_algorithms,
+    table1,
+    table2,
+    table3,
+    table4,
+    timestamp_index,
+)
+
+#: experiment id -> zero-argument default runner.
+REGISTRY: dict[str, Callable[[], ExperimentResult]] = {
+    "table1": table1.run,
+    "table2": table2.run,
+    "table3": table3.run,
+    "table4": table4.run,
+    "fig2": fig2.run,
+    "fig3": fig3.run,
+    "maintenance_window": maintenance_window.run,
+    "remote_trigger": remote_trigger.run,
+    "online_maintenance": online_maintenance.run,
+    "snapshot_algorithms": snapshot_algorithms.run,
+    "hybrid_capture": hybrid_capture.run,
+    "timestamp_index": timestamp_index.run,
+    "freshness": freshness.run,
+    "capture_levels": capture_levels.run,
+    "aggregate_views": aggregate_views.run,
+    "sensitivity": sensitivity.run,
+}
+
+__all__ = ["REGISTRY"] + list(REGISTRY)

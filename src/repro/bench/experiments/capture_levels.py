@@ -1,0 +1,136 @@
+"""§2.4 reference architecture — comparing the capture levels.
+
+The paper enumerates where deltas can be captured: inside the DBMS
+(triggers), between COTS software and the DBMS (the Op-Delta wrapper), and
+in the integration middleware (high-level method calls).  This ablation
+runs the same business activity through one COTS system with all three
+capture points active and compares:
+
+* response-time overhead on the business operations;
+* transport volume of what each level captured;
+* captured units (rows vs statements vs method calls).
+
+Method-call capture is the most compact and cheapest — but it only works
+for methods with a warehouse mapping and for activity that actually goes
+through the middleware; Op-Delta is the paper's sweet spot.
+"""
+
+from __future__ import annotations
+
+from ...core.capture import OpDeltaCapture
+from ...core.stores import FileLogStore
+from ...extraction.trigger import TriggerExtractor
+from ...sources.cots import CotsSystem
+from ...sources.middleware import MiddlewareCapture
+from ..report import ExperimentResult
+
+DEFAULT_PARTS = 20_000
+DEFAULT_OPERATIONS = 20
+DEFAULT_OP_ROWS = 200
+
+
+def _run_business(system: CotsSystem, operations: int, op_rows: int) -> float:
+    clock = system.clock
+    with clock.stopwatch() as watch:
+        for i in range(operations):
+            low = (i * op_rows) % (DEFAULT_PARTS - op_rows)
+            system.revise_parts(low, low + op_rows, status=f"rev{i % 10}")
+    return watch.elapsed
+
+
+def _arm(level: str, operations: int, op_rows: int):
+    system = CotsSystem(f"cl-{level}", allows_triggers=True)
+    system.load_parts(DEFAULT_PARTS)
+    system.vendor_database().checkpoint()
+
+    collector = None
+    if level == "trigger":
+        collector = TriggerExtractor(system.open_database_for_triggers(), "parts")
+        collector.install()
+    elif level == "opdelta":
+        store = FileLogStore(system.vendor_database())
+        OpDeltaCapture(system.wrapper_session, store, tables={"parts"}).attach()
+        collector = store
+    elif level == "middleware":
+        capture = MiddlewareCapture()
+        capture.tap_system(system)
+        collector = capture
+
+    elapsed = _run_business(system, operations, op_rows)
+
+    if level == "base":
+        return elapsed, 0, 0
+    if level == "trigger":
+        batch = collector.drain_to_batch()
+        return elapsed, batch.size_bytes, len(batch)
+    if level == "opdelta":
+        groups = collector.drain()
+        volume = sum(group.size_bytes for group in groups)
+        units = sum(len(group) for group in groups)
+        return elapsed, volume, units
+    deltas = collector.drain()
+    return elapsed, sum(d.size_bytes for d in deltas), len(deltas)
+
+
+def run(
+    operations: int = DEFAULT_OPERATIONS,
+    op_rows: int = DEFAULT_OP_ROWS,
+) -> ExperimentResult:
+    levels = ("base", "trigger", "opdelta", "middleware")
+    elapsed, volume, units = {}, {}, {}
+    for level in levels:
+        elapsed[level], volume[level], units[level] = _arm(
+            level, operations, op_rows
+        )
+    overhead = {
+        level: elapsed[level] / elapsed["base"] - 1.0
+        for level in ("trigger", "opdelta", "middleware")
+    }
+
+    result = ExperimentResult(
+        experiment_id="capture_levels",
+        title="Capture levels of the §2.4 reference architecture",
+        parameters={
+            "parts": DEFAULT_PARTS,
+            "operations": operations,
+            "rows_per_operation": op_rows,
+        },
+        headers=["trigger (DBMS)", "opdelta (wrapper)", "middleware (methods)"],
+        series={
+            "capture_overhead": [
+                overhead["trigger"], overhead["opdelta"], overhead["middleware"]
+            ],
+            "transport_bytes": [
+                float(volume["trigger"]), float(volume["opdelta"]),
+                float(volume["middleware"]),
+            ],
+            "captured_units": [
+                float(units["trigger"]), float(units["opdelta"]),
+                float(units["middleware"]),
+            ],
+        },
+        unit="generic",
+    )
+    result.check(
+        "capture cost falls as the level rises",
+        overhead["trigger"] > overhead["opdelta"] > overhead["middleware"],
+    )
+    result.check(
+        "transport volume falls as the level rises",
+        volume["trigger"] > volume["opdelta"] > volume["middleware"],
+    )
+    result.check(
+        "trigger volume is orders of magnitude above opdelta",
+        volume["trigger"] > 50 * volume["opdelta"],
+    )
+    result.check(
+        "middleware capture is near-free on the source",
+        overhead["middleware"] < 0.01,
+    )
+    result.notes.append(
+        "Higher levels capture less-physical, more-semantic units (rows -> "
+        "statements -> method calls) at lower cost, but demand more from "
+        "the warehouse-side mapping (§2.4's feasibility caveat, tested in "
+        "tests/test_sources_middleware.py)."
+    )
+    return result

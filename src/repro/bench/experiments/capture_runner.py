@@ -1,0 +1,119 @@
+"""Shared runner for the transaction-sized capture experiments.
+
+Figures 2-3 and Table 4 all use the same setup — a 100,000-row PARTS
+table, transactions of 10..10,000 rows, response time per transaction —
+and differ only in the capture arm:
+
+* ``base``     — no capture (the denominator of every overhead);
+* ``trigger``  — row triggers into a local delta table (Figure 2);
+* ``dblog``    — Op-Delta into a transactional database log table
+  (Figure 3, Table 4);
+* ``filelog``  — Op-Delta into an OS file log (Table 4).
+
+One arm = one fresh database; operations run in the order update, delete,
+insert so the scan-based operations see the pristine table size.  Results
+are memoized per parameter set so the three experiment modules share one
+execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...core.capture import OpDeltaCapture
+from ...core.stores import DatabaseLogStore, FileLogStore
+from ...extraction.trigger import TriggerExtractor
+from ...workloads.oltp import PAPER_TABLE_ROWS, PAPER_TXN_SIZES
+from .common import build_workload_database
+
+ARMS = ("base", "trigger", "dblog", "filelog")
+OPS = ("insert", "delete", "update")
+
+
+@dataclass(frozen=True)
+class CaptureRunKey:
+    table_rows: int
+    sizes: tuple[int, ...]
+
+
+@dataclass
+class CaptureTimings:
+    """Response time (virtual ms) per arm, operation and txn size."""
+
+    sizes: tuple[int, ...]
+    table_rows: int
+    #: arm -> op -> [ms per size]
+    times: dict[str, dict[str, list[float]]]
+
+    def overhead(self, arm: str, op: str) -> list[float]:
+        """Fractional overhead of ``arm`` over the base arm."""
+        base = self.times["base"][op]
+        measured = self.times[arm][op]
+        return [m / b - 1.0 for m, b in zip(measured, base)]
+
+
+_MEMO: dict[CaptureRunKey, CaptureTimings] = {}
+
+
+def measure(
+    table_rows: int = PAPER_TABLE_ROWS,
+    sizes: tuple[int, ...] = PAPER_TXN_SIZES,
+) -> CaptureTimings:
+    """Run (or reuse) the four capture arms at the given parameters."""
+    key = CaptureRunKey(table_rows, tuple(sizes))
+    cached = _MEMO.get(key)
+    if cached is not None:
+        return cached
+    times: dict[str, dict[str, list[float]]] = {}
+    for arm in ARMS:
+        times[arm] = _measure_arm(arm, table_rows, tuple(sizes))
+    timings = CaptureTimings(tuple(sizes), table_rows, times)
+    _MEMO[key] = timings
+    return timings
+
+
+def _measure_arm(
+    arm: str, table_rows: int, sizes: tuple[int, ...]
+) -> dict[str, list[float]]:
+    database, workload = build_workload_database(table_rows, name=f"cap-{arm}")
+
+    trigger_extractor = None
+    capture = None
+    store = None
+    if arm == "trigger":
+        trigger_extractor = TriggerExtractor(database, "parts")
+        trigger_extractor.install()
+    elif arm == "dblog":
+        store = DatabaseLogStore(database)
+        capture = OpDeltaCapture(workload.session, store, tables={"parts"})
+        capture.attach()
+    elif arm == "filelog":
+        store = FileLogStore(database)
+        capture = OpDeltaCapture(workload.session, store, tables={"parts"})
+        capture.attach()
+
+    results: dict[str, list[float]] = {op: [] for op in OPS}
+    # update/delete first: they scan, and must see the pristine table size.
+    for size in sizes:
+        results["update"].append(workload.run_update(size).response_ms)
+        _drain(trigger_extractor, store)
+    for size in sizes:
+        results["delete"].append(workload.run_delete(size).response_ms)
+        _drain(trigger_extractor, store)
+    for size in sizes:
+        results["insert"].append(workload.run_insert(size).response_ms)
+        _drain(trigger_extractor, store)
+
+    if capture is not None:
+        capture.detach()
+    if trigger_extractor is not None:
+        trigger_extractor.uninstall()
+    return results
+
+
+def _drain(trigger_extractor, store) -> None:
+    """Empty capture backlogs between measurements (untimed housekeeping)."""
+    if trigger_extractor is not None:
+        trigger_extractor.drain_rows()
+    if store is not None:
+        store.drain()

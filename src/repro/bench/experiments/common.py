@@ -1,0 +1,59 @@
+"""Shared setup helpers for the experiment modules."""
+
+from __future__ import annotations
+
+from ...clock import VirtualClock
+from ...engine.buffer import DEFAULT_POOL_PAGES
+from ...engine.database import Database
+from ...engine.schema import TableSchema
+from ...engine.table import InsertMode
+from ...workloads.oltp import OltpWorkload
+from ...workloads.records import PartsGenerator, parts_schema
+
+#: Pool size modelling "the 1G table does not fit in the 128M machine"
+#: (Tables 1-3 run against it with scaled tables that exceed it).
+SMALL_POOL_PAGES = 128
+
+
+def plain_parts_schema(name: str) -> TableSchema:
+    """A PARTS-shaped table without a primary key (delta tables)."""
+    base = parts_schema(name)
+    return TableSchema(
+        name, base.columns, primary_key=None, timestamp_column=base.timestamp_column
+    )
+
+
+def build_workload_database(
+    rows: int,
+    buffer_pages: int = DEFAULT_POOL_PAGES,
+    name: str = "source",
+    archive_mode: bool = False,
+    clock: VirtualClock | None = None,
+    seed: int = 42,
+) -> tuple[Database, OltpWorkload]:
+    """A source database with a populated PARTS table and its workload."""
+    database = Database(
+        name, clock=clock, buffer_pages=buffer_pages, archive_mode=archive_mode
+    )
+    workload = OltpWorkload(database, seed=seed)
+    workload.create_table()
+    workload.populate(rows)
+    # Checkpoint so measurements start from a clean buffer — otherwise the
+    # first measured operation pays the load's dirty-page write-back debt.
+    database.checkpoint()
+    return database, workload
+
+
+def fill_plain_table(
+    database: Database, table_name: str, rows: int, seed: int = 7
+) -> None:
+    """Create and fill an unindexed PARTS-shaped table (untimed setup path)."""
+    if not database.has_table(table_name):
+        database.create_table(plain_parts_schema(table_name))
+    table = database.table(table_name)
+    generator = PartsGenerator(seed=seed)
+    txn = database.begin()
+    for row in generator.rows(rows):
+        table.insert(txn, row, mode=InsertMode.BULK_INTERNAL)
+    database.commit(txn)
+    database.checkpoint()

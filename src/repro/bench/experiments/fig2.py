@@ -1,0 +1,71 @@
+"""Figure 2 — "Insert/Delete/Update trigger overhead".
+
+Row triggers capture full records into a delta table inside the user's
+transaction; this experiment measures the response-time overhead versus
+the uninstrumented base run, per operation and transaction size.
+
+Reproduction targets (from §3.1.3):
+
+* insert overhead roughly constant in the 80-100% band — one triggered
+  insert per inserted row, independent of transaction size;
+* update overhead *rising* with transaction size (two triggered inserts
+  per row while the base per-row cost falls with scan amortisation);
+* delete overhead rising as well, one triggered insert per row;
+* all overheads inside the paper's overall 9-344% envelope (up to
+  rounding at the extremes).
+"""
+
+from __future__ import annotations
+
+from ...workloads.oltp import PAPER_TABLE_ROWS, PAPER_TXN_SIZES
+from ..paper_data import FIG2_INSERT_OVERHEAD_RANGE
+from ..report import ExperimentResult, non_decreasing, roughly_constant
+from .capture_runner import measure
+
+
+def run(
+    table_rows: int = PAPER_TABLE_ROWS,
+    sizes: tuple[int, ...] = PAPER_TXN_SIZES,
+) -> ExperimentResult:
+    timings = measure(table_rows, sizes)
+    insert = timings.overhead("trigger", "insert")
+    update = timings.overhead("trigger", "update")
+    delete = timings.overhead("trigger", "delete")
+
+    result = ExperimentResult(
+        experiment_id="fig2",
+        title="Insert/Delete/Update trigger overhead",
+        parameters={"table_rows": table_rows},
+        headers=[str(s) for s in sizes],
+        series={
+            "insert_overhead": insert,
+            "delete_overhead": delete,
+            "update_overhead": update,
+        },
+        unit="percent",
+    )
+    low, high = FIG2_INSERT_OVERHEAD_RANGE
+    result.check(
+        "insert overhead roughly constant",
+        roughly_constant(insert, tolerance=0.45),
+    )
+    result.check(
+        "insert overhead in the 80-100% band (±15 points)",
+        all(low - 0.15 <= o <= high + 0.15 for o in insert),
+    )
+    result.check("update overhead rises with txn size", non_decreasing(update))
+    result.check("delete overhead rises with txn size", non_decreasing(delete))
+    result.check(
+        "update overhead exceeds delete overhead at the top size",
+        update[-1] > delete[-1],
+    )
+    result.check(
+        "update overhead reaches the paper's multi-hundred-percent regime",
+        2.0 <= update[-1] <= 4.0,
+    )
+    result.notes.append(
+        "The paper publishes Figure 2 as a plot without a data table; the "
+        "checks encode its described shape (constant 80-100% inserts, "
+        "rising update/delete, 9-344% envelope)."
+    )
+    return result

@@ -1,0 +1,91 @@
+"""Table 1 — "Database deltas dump and load techniques".
+
+For each delta size, measure the three utilities on a delta table of that
+size:
+
+* **Export** of the delta table (proprietary dump) — the fast path;
+* **Import** of that dump into a staging database — the slow path, with
+  Import's page-overflow reorganisation making it super-linear;
+* **DBMS Loader** of an equivalent ASCII dump — direct block loads,
+  between the two.
+
+Run at ``scale`` (default 1/200 of the paper's 100M..1000M deltas); the
+within-column orderings and the growing Import/Loader gap are the
+reproduction targets.
+"""
+
+from __future__ import annotations
+
+from ...engine.database import Database
+from ...engine.utilities import (
+    ascii_dump_table,
+    ascii_load,
+    export_table,
+    import_dump,
+)
+from ..paper_data import ROWS_PER_MB, TABLE1_MS, TABLE123_SIZES_MB
+from ..report import ExperimentResult, series_ratios, strictly_increasing
+from .common import SMALL_POOL_PAGES, fill_plain_table, plain_parts_schema
+
+DEFAULT_SCALE = 400
+
+
+def run(scale: int = DEFAULT_SCALE) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="table1",
+        title="Database deltas dump and load techniques",
+        parameters={"scale": f"1/{scale}", "record_bytes": 112},
+        headers=[f"{mb}M" for mb in TABLE123_SIZES_MB],
+        paper=dict(TABLE1_MS),
+        paper_scale_divisor=float(scale),
+    )
+    export_ms, import_ms, loader_ms = [], [], []
+    for size_mb in TABLE123_SIZES_MB:
+        rows = max(1, size_mb * ROWS_PER_MB // scale)
+        source = Database("dump-source", buffer_pages=SMALL_POOL_PAGES)
+        fill_plain_table(source, "delta", rows)
+
+        with source.clock.stopwatch() as watch:
+            dump = export_table(source, "delta")
+        export_ms.append(watch.elapsed)
+
+        staging = Database(
+            "staging", clock=source.clock, buffer_pages=SMALL_POOL_PAGES
+        )
+        with source.clock.stopwatch() as watch:
+            import_dump(staging, dump)
+        import_ms.append(watch.elapsed)
+
+        ascii_file = ascii_dump_table(source, "delta")  # untimed: the input artifact
+        loader_db = Database(
+            "loader-target", clock=source.clock, buffer_pages=SMALL_POOL_PAGES
+        )
+        loader_db.create_table(plain_parts_schema("delta"))
+        with source.clock.stopwatch() as watch:
+            ascii_load(loader_db, "delta", ascii_file)
+        loader_ms.append(watch.elapsed)
+
+    result.series = {
+        "export": export_ms,
+        "import": import_ms,
+        "loader": loader_ms,
+    }
+    result.check(
+        "export fastest at every size",
+        all(e < l for e, l in zip(export_ms, loader_ms)),
+    )
+    result.check(
+        "import slowest at every size",
+        all(i > l for i, l in zip(import_ms, loader_ms)),
+    )
+    ratios = series_ratios(import_ms, loader_ms)
+    result.check("import/loader gap grows with size", ratios[-1] > ratios[0] * 1.3)
+    result.check("every method grows with size", all(
+        strictly_increasing(series) for series in result.series.values()
+    ))
+    result.notes.append(
+        "Import's super-linearity comes from staging-buffer overflow "
+        "reorganisation, as the paper describes; Export stays linear here "
+        "whereas the paper shows a mild tail at 1G."
+    )
+    return result

@@ -1,0 +1,78 @@
+"""Table 4 — "Response time (ms) - DB log vs file log".
+
+The response time of the original source transactions with Op-Delta
+capture enabled, comparing the transactional database-table log against
+the flat-file log.
+
+Reproduction targets (§4.2): the file log is always at least as cheap;
+dramatically so for inserts (whose Op-Delta carries the data and whose
+DB-log store pays per-chunk row inserts), and nearly identical for
+deletes/updates (single-statement Op-Deltas either way).
+"""
+
+from __future__ import annotations
+
+from ...workloads.oltp import PAPER_TABLE_ROWS, PAPER_TXN_SIZES
+from ..paper_data import TABLE4_MS
+from ..report import ExperimentResult
+from .capture_runner import measure
+
+
+def run(
+    table_rows: int = PAPER_TABLE_ROWS,
+    sizes: tuple[int, ...] = PAPER_TXN_SIZES,
+) -> ExperimentResult:
+    timings = measure(table_rows, sizes)
+    series = {}
+    for op in ("insert", "delete", "update"):
+        series[f"{op}_dblog"] = list(timings.times["dblog"][op])
+        series[f"{op}_filelog"] = list(timings.times["filelog"][op])
+
+    result = ExperimentResult(
+        experiment_id="table4",
+        title="Response time - DB log vs file log",
+        parameters={"table_rows": table_rows},
+        headers=[str(s) for s in sizes],
+        series=series,
+        # The paper's columns only align at its own transaction sizes.
+        paper=(
+            {k: list(v) for k, v in TABLE4_MS.items()}
+            if tuple(sizes) == PAPER_TXN_SIZES
+            else {}
+        ),
+        unit="ms",
+    )
+    result.check(
+        "file log never slower than DB log",
+        all(
+            f <= d * 1.02
+            for op in ("insert", "delete", "update")
+            for f, d in zip(series[f"{op}_filelog"], series[f"{op}_dblog"])
+        ),
+    )
+    insert_gap = series["insert_dblog"][-1] / series["insert_filelog"][-1]
+    result.check(
+        "file log saves >20% on large inserts (paper: ~32%)",
+        insert_gap >= 1.20,
+    )
+    result.check(
+        "delete nearly identical between stores (<5% gap)",
+        series["delete_dblog"][-1] / series["delete_filelog"][-1] < 1.05,
+    )
+    result.check(
+        "update nearly identical between stores (<5% gap)",
+        series["update_dblog"][-1] / series["update_filelog"][-1] < 1.05,
+    )
+    result.check(
+        "response time ordering matches the paper per txn size "
+        "(insert > delete > update at 10k rows)",
+        series["insert_dblog"][-1]
+        > series["delete_dblog"][-1]
+        > series["update_dblog"][-1],
+    )
+    result.notes.append(
+        "Absolute magnitudes land near the paper's because the cost model "
+        "was calibrated once against Table 4; the checks only assert the "
+        "orderings, which are emergent."
+    )
+    return result

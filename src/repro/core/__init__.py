@@ -1,0 +1,48 @@
+"""Op-Delta: the paper's primary contribution (§4).
+
+Capture operations (SQL statements) at the COTS/wrapper level instead of
+row images; store them in a database table or a flat file; ship the
+transaction groups to the warehouse; transform and replay each group as a
+self-contained warehouse transaction.
+"""
+
+from .apply import ApplyReport, OpDeltaApplier, replay_equivalence_check
+from .capture import CaptureEverythingLean, OpDeltaCapture
+from .hybrid import AlwaysHybridPolicy, ViewAwareHybridPolicy
+from .opdelta import OpDelta, OpDeltaTransaction, OpKind, classify_statement
+from .selfmaint import (
+    JoinSpec,
+    Maintainability,
+    ViewDefinition,
+    classify_operation,
+    classify_static,
+    combined_requirement,
+)
+from .stores import DatabaseLogStore, FileLogStore, OpDeltaStore
+from .transform import StatementTransformer, TableMapping, identity_mapping
+
+__all__ = [
+    "OpDelta",
+    "OpDeltaTransaction",
+    "OpKind",
+    "classify_statement",
+    "OpDeltaCapture",
+    "CaptureEverythingLean",
+    "OpDeltaStore",
+    "DatabaseLogStore",
+    "FileLogStore",
+    "ViewDefinition",
+    "JoinSpec",
+    "Maintainability",
+    "classify_operation",
+    "classify_static",
+    "combined_requirement",
+    "ViewAwareHybridPolicy",
+    "AlwaysHybridPolicy",
+    "StatementTransformer",
+    "TableMapping",
+    "identity_mapping",
+    "OpDeltaApplier",
+    "ApplyReport",
+    "replay_equivalence_check",
+]

@@ -1,0 +1,107 @@
+"""Op-Delta records (paper §4).
+
+An Op-Delta captures *the operation that caused the change* — the SQL
+statement itself — instead of the per-row before/after images that value
+deltas carry.  The consequences the paper derives, all observable on these
+objects:
+
+* **size** — a DELETE/UPDATE Op-Delta is the statement text (~70 bytes)
+  regardless of how many rows it affects; an INSERT Op-Delta carries the
+  inserted data, so it is about as big as the equivalent value delta;
+* **transaction boundaries** — Op-Deltas are grouped per source
+  transaction (:class:`OpDeltaTransaction`), so the warehouse can apply
+  each group as a self-contained transaction, concurrently with queries;
+* **hybrid capture** — when a target view is not self-maintainable from
+  the operation alone, the Op-Delta is augmented with the *before images*
+  of the affected rows (``before_image``), and nothing more — the after
+  image never needs capturing because the operation derives it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..errors import OpDeltaError
+from ..sql import ast_nodes as ast
+from ..sql.parser import parse
+
+
+class OpKind(enum.Enum):
+    INSERT = "INSERT"
+    UPDATE = "UPDATE"
+    DELETE = "DELETE"
+
+
+@dataclass
+class OpDelta:
+    """One captured operation."""
+
+    statement_text: str
+    table: str
+    kind: OpKind
+    txn_id: int
+    sequence: int
+    captured_at: float
+    #: Full before images of the affected rows (hybrid capture only).
+    before_image: list[tuple[Any, ...]] | None = None
+    _parsed: ast.Statement | None = field(default=None, repr=False, compare=False)
+
+    @property
+    def statement(self) -> ast.Statement:
+        """The parsed statement (lazily re-parsed from the captured text)."""
+        if self._parsed is None:
+            self._parsed = parse(self.statement_text)
+        return self._parsed
+
+    @property
+    def size_bytes(self) -> int:
+        """Transport volume: statement text + header + optional before image."""
+        size = len(self.statement_text) + 24  # header: txn, seq, table ref
+        if self.before_image is not None:
+            size += sum(
+                sum(len(str(v)) + 1 for v in row) for row in self.before_image
+            )
+        return size
+
+    @property
+    def is_hybrid(self) -> bool:
+        return self.before_image is not None
+
+
+def classify_statement(statement: ast.Statement) -> tuple[OpKind, str]:
+    """Return the operation kind and target table of a DML statement."""
+    if isinstance(statement, ast.InsertStmt):
+        return OpKind.INSERT, statement.table
+    if isinstance(statement, ast.UpdateStmt):
+        return OpKind.UPDATE, statement.table
+    if isinstance(statement, ast.DeleteStmt):
+        return OpKind.DELETE, statement.table
+    raise OpDeltaError(
+        f"only DML statements produce Op-Deltas, got {type(statement).__name__}"
+    )
+
+
+@dataclass
+class OpDeltaTransaction:
+    """The Op-Deltas of one committed source transaction, in order.
+
+    This is the unit of application at the warehouse: each group becomes
+    one warehouse transaction, preserving the source boundary — the
+    property that lets maintenance interleave with OLAP queries (§4.1).
+    """
+
+    txn_id: int
+    operations: list[OpDelta] = field(default_factory=list)
+    committed_at: float | None = None
+
+    def __len__(self) -> int:
+        return len(self.operations)
+
+    @property
+    def size_bytes(self) -> int:
+        return sum(op.size_bytes for op in self.operations)
+
+    def tables(self) -> set[str]:
+        return {op.table for op in self.operations}

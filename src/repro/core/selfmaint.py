@@ -1,0 +1,188 @@
+"""Self-maintainability of SPJ views with respect to Op-Delta (paper §4.1).
+
+The paper (building on its reference [8]) identifies sufficient conditions
+under which the Op-Delta *alone* refreshes a warehouse view, and cases where
+a hybrid — the operation plus the **before image** of the affected rows —
+is needed.  The after image is never needed: the operation derives it.
+
+The rules implemented here, for select-project(-join) views:
+
+* **INSERT** — always maintainable from the operation alone: the statement
+  carries the new rows; apply the view's selection and projection to them.
+* **DELETE** — maintainable from the operation alone when the view keeps
+  the base table's key *and* the delete predicate only references
+  projected columns (then the predicate can be rewritten onto the view).
+  Otherwise the before image identifies the disappearing rows.
+* **UPDATE** — maintainable from the operation alone when the predicate
+  and every assigned column are projected by the view *and* no assigned
+  column participates in the view's selection predicate (no row can enter
+  or leave the view).  Otherwise the before image is required: leaving
+  rows are found by key; entering rows' full after-images are derived as
+  ``apply(assignments, before_image)``.
+* **Join views** — maintainable only when the warehouse holds the joined
+  (dimension) table locally; otherwise integration would have to query
+  back to the sources, which violates requirement 1 of §2.3.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import SelfMaintenanceError
+from ..sql import ast_nodes as ast
+from ..sql.expressions import referenced_columns
+from ..sql.parser import parse_expression
+from .opdelta import OpDelta, OpKind
+
+
+class Maintainability(enum.Enum):
+    """How much captured information a view needs for one operation kind."""
+
+    OP_ONLY = "op-only"
+    NEEDS_BEFORE_IMAGE = "needs-before-image"
+    NOT_SELF_MAINTAINABLE = "not-self-maintainable"
+
+
+@dataclass(frozen=True)
+class JoinSpec:
+    """An equi-join against a (dimension) table."""
+
+    table: str
+    left_column: str   # column of the view's base table
+    right_column: str  # column of the joined table
+    #: Columns of the joined table the view projects.
+    columns: tuple[str, ...] = ()
+    #: Whether the warehouse holds a local copy of the joined table.
+    available_at_warehouse: bool = True
+
+
+@dataclass(frozen=True)
+class ViewDefinition:
+    """A select-project(-join) view over one base table.
+
+    ``predicate`` is SQL text over the base table's columns (or ``None``
+    for select-all); ``columns`` are the projected base-table columns.
+    """
+
+    name: str
+    base_table: str
+    columns: tuple[str, ...]
+    predicate: str | None = None
+    key_column: str | None = None
+    join: JoinSpec | None = None
+    #: All columns of the base table, when known.  Static capture-time
+    #: analysis uses this to decide whether the view is a full-width
+    #: mirror; ``None`` means unknown (assume narrower than the base).
+    base_columns: tuple[str, ...] | None = None
+
+    def predicate_ast(self) -> ast.Expression | None:
+        return parse_expression(self.predicate) if self.predicate else None
+
+    def predicate_columns(self) -> set[str]:
+        expr = self.predicate_ast()
+        return referenced_columns(expr) if expr is not None else set()
+
+    @property
+    def key_projected(self) -> bool:
+        return self.key_column is not None and self.key_column in self.columns
+
+    def __post_init__(self) -> None:
+        if not self.columns:
+            raise SelfMaintenanceError(f"view {self.name!r} projects no columns")
+        missing = self.predicate_columns() - set(self.columns)
+        # A predicate over non-projected columns is legal (it is evaluated
+        # against base rows, not view rows) — nothing to validate here, but
+        # touching predicate_columns early surfaces parse errors at
+        # definition time rather than at apply time.
+        del missing
+
+
+def classify_operation(view: ViewDefinition, op: OpDelta) -> Maintainability:
+    """Per-statement analysis: what does *this* operation need for *this* view?"""
+    if view.join is not None and not view.join.available_at_warehouse:
+        return Maintainability.NOT_SELF_MAINTAINABLE
+    if op.kind is OpKind.INSERT:
+        return Maintainability.OP_ONLY
+    where = op.statement.where  # type: ignore[union-attr]
+    where_columns = referenced_columns(where) if where is not None else set()
+    projected = set(view.columns)
+    if op.kind is OpKind.DELETE:
+        if view.key_projected and where_columns <= projected:
+            return Maintainability.OP_ONLY
+        return Maintainability.NEEDS_BEFORE_IMAGE
+    # UPDATE
+    assert op.kind is OpKind.UPDATE
+    assignments = op.statement.assignments  # type: ignore[union-attr]
+    assigned = {a.column for a in assignments}
+    assignment_inputs: set[str] = set()
+    for assignment in assignments:
+        assignment_inputs |= referenced_columns(assignment.expr)
+    membership_affected = bool(assigned & view.predicate_columns())
+    if view.join is not None and view.join.left_column in assigned:
+        # Reassigning the join key invalidates the materialised dimension
+        # attributes; re-projection (which needs the before image) is
+        # required.
+        membership_affected = True
+    everything_visible = (
+        where_columns <= projected
+        and assigned <= projected
+        and assignment_inputs <= projected
+    )
+    if everything_visible and not membership_affected:
+        return Maintainability.OP_ONLY
+    return Maintainability.NEEDS_BEFORE_IMAGE
+
+
+def classify_static(view: ViewDefinition, kind: OpKind) -> Maintainability:
+    """Capture-time analysis: the statement is unknown, so be conservative.
+
+    This is what the hybrid capture policy evaluates when deciding whether
+    to fetch before images for a table's updates/deletes.
+    """
+    if view.join is not None and not view.join.available_at_warehouse:
+        return Maintainability.NOT_SELF_MAINTAINABLE
+    if kind is OpKind.INSERT:
+        return Maintainability.OP_ONLY
+    if kind is OpKind.DELETE:
+        # Any base column could appear in a future DELETE's WHERE; the view
+        # is safe for every possible statement only if it keeps the key and
+        # projects the full base row.
+        if view.key_projected and _projects_full_row(view):
+            return Maintainability.OP_ONLY
+        return Maintainability.NEEDS_BEFORE_IMAGE
+    # UPDATE: additionally, a future statement could assign one of the
+    # view's selection-predicate columns (moving rows in or out of the
+    # view) or the join key (invalidating materialised dimension columns).
+    if (
+        view.predicate is None
+        and view.join is None
+        and view.key_projected
+        and _projects_full_row(view)
+    ):
+        return Maintainability.OP_ONLY
+    return Maintainability.NEEDS_BEFORE_IMAGE
+
+
+def _projects_full_row(view: ViewDefinition) -> bool:
+    """Whether the view provably projects every base-table column."""
+    if view.base_columns is None:
+        return False
+    return set(view.columns) >= set(view.base_columns)
+
+
+def combined_requirement(
+    views: Sequence[ViewDefinition], table: str, kind: OpKind
+) -> Maintainability:
+    """The strongest requirement any view on ``table`` imposes for ``kind``."""
+    requirement = Maintainability.OP_ONLY
+    for view in views:
+        if view.base_table != table:
+            continue
+        level = classify_static(view, kind)
+        if level is Maintainability.NOT_SELF_MAINTAINABLE:
+            return level
+        if level is Maintainability.NEEDS_BEFORE_IMAGE:
+            requirement = level
+    return requirement

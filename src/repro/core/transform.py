@@ -1,0 +1,183 @@
+"""Transformation rules: source statements → warehouse statements (§4.1).
+
+"The data warehouse schema is typically an aggregation of the source
+database schema unlike a recovering database, so appropriate
+transformations need to be applied" — and, unlike log shipping, Op-Delta
+does not require the destination schema to equal the source schema.
+
+A :class:`TableMapping` declares how one source table appears in the
+warehouse: a target table name, a column-rename map, and optionally a
+projection (source columns with no mapping are dropped; INSERTs are
+rewritten with explicit target column lists so dropped columns simply
+disappear).  :class:`StatementTransformer` rewrites whole statements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..errors import OpDeltaError
+from ..sql import ast_nodes as ast
+
+
+@dataclass(frozen=True)
+class TableMapping:
+    """How one source table maps onto the warehouse schema."""
+
+    source_table: str
+    target_table: str
+    #: source column -> target column.  Source columns absent from the map
+    #: are dropped by the transformation (projection).
+    column_map: Mapping[str, str] = field(default_factory=dict)
+    #: Source column order, required to transform positional INSERTs.
+    source_columns: tuple[str, ...] = ()
+
+    def target_column(self, source_column: str) -> str | None:
+        if not self.column_map:
+            return source_column
+        return self.column_map.get(source_column)
+
+    def require_target_column(self, source_column: str) -> str:
+        target = self.target_column(source_column)
+        if target is None:
+            raise OpDeltaError(
+                f"column {self.source_table}.{source_column} is dropped by "
+                "the warehouse mapping but the statement references it"
+            )
+        return target
+
+
+def identity_mapping(table: str, target_table: str | None = None) -> TableMapping:
+    """Mapping that only renames the table (columns pass through)."""
+    return TableMapping(table, target_table if target_table else table)
+
+
+class StatementTransformer:
+    """Rewrites captured DML onto the warehouse schema."""
+
+    def __init__(self, mappings: Mapping[str, TableMapping] | None = None) -> None:
+        self._mappings = dict(mappings) if mappings else {}
+
+    def add(self, mapping: TableMapping) -> None:
+        self._mappings[mapping.source_table] = mapping
+
+    def mapping_for(self, table: str) -> TableMapping:
+        return self._mappings.get(table, identity_mapping(table))
+
+    # --------------------------------------------------------------- statements
+    def transform(self, statement: ast.Statement) -> ast.Statement:
+        if isinstance(statement, ast.InsertStmt):
+            return self._transform_insert(statement)
+        if isinstance(statement, ast.UpdateStmt):
+            return self._transform_update(statement)
+        if isinstance(statement, ast.DeleteStmt):
+            return self._transform_delete(statement)
+        raise OpDeltaError(
+            f"only DML statements are transformed, got {type(statement).__name__}"
+        )
+
+    def _transform_insert(self, stmt: ast.InsertStmt) -> ast.InsertStmt:
+        mapping = self.mapping_for(stmt.table)
+        if stmt.select is not None:
+            raise OpDeltaError(
+                "INSERT..SELECT Op-Deltas cannot be transformed: the SELECT "
+                "reads source state the warehouse does not have"
+            )
+        source_columns = stmt.columns
+        if source_columns is None:
+            if mapping.column_map and not mapping.source_columns:
+                raise OpDeltaError(
+                    f"mapping for {stmt.table!r} projects columns but has no "
+                    "source column order; cannot transform a positional INSERT"
+                )
+            source_columns = mapping.source_columns or None
+        if source_columns is None:
+            # Pure rename: keep the positional form.
+            return ast.InsertStmt(mapping.target_table, None, rows=stmt.rows)
+        kept_positions = []
+        target_columns = []
+        for position, name in enumerate(source_columns):
+            target = mapping.target_column(name)
+            if target is not None:
+                kept_positions.append(position)
+                target_columns.append(target)
+        new_rows = []
+        for row in stmt.rows:
+            if len(row) != len(source_columns):
+                raise OpDeltaError(
+                    f"INSERT row has {len(row)} values for "
+                    f"{len(source_columns)} columns"
+                )
+            new_rows.append(tuple(row[position] for position in kept_positions))
+        return ast.InsertStmt(
+            mapping.target_table, tuple(target_columns), rows=tuple(new_rows)
+        )
+
+    def _transform_update(self, stmt: ast.UpdateStmt) -> ast.UpdateStmt:
+        mapping = self.mapping_for(stmt.table)
+        assignments = []
+        for assignment in stmt.assignments:
+            target = mapping.target_column(assignment.column)
+            if target is None:
+                continue  # assignment to a dropped column vanishes
+            assignments.append(
+                ast.Assignment(target, self._transform_expr(assignment.expr, mapping))
+            )
+        if not assignments:
+            raise OpDeltaError(
+                f"UPDATE on {stmt.table!r} only assigns columns the warehouse "
+                "drops; nothing to apply"
+            )
+        where = (
+            self._transform_expr(stmt.where, mapping) if stmt.where is not None else None
+        )
+        return ast.UpdateStmt(mapping.target_table, tuple(assignments), where)
+
+    def _transform_delete(self, stmt: ast.DeleteStmt) -> ast.DeleteStmt:
+        mapping = self.mapping_for(stmt.table)
+        where = (
+            self._transform_expr(stmt.where, mapping) if stmt.where is not None else None
+        )
+        return ast.DeleteStmt(mapping.target_table, where)
+
+    # -------------------------------------------------------------- expressions
+    def _transform_expr(
+        self, expr: ast.Expression, mapping: TableMapping
+    ) -> ast.Expression:
+        if isinstance(expr, ast.Literal):
+            return expr
+        if isinstance(expr, ast.ColumnRef):
+            return ast.ColumnRef(mapping.require_target_column(expr.name))
+        if isinstance(expr, ast.BinaryOp):
+            return ast.BinaryOp(
+                expr.op,
+                self._transform_expr(expr.left, mapping),
+                self._transform_expr(expr.right, mapping),
+            )
+        if isinstance(expr, ast.UnaryOp):
+            return ast.UnaryOp(expr.op, self._transform_expr(expr.operand, mapping))
+        if isinstance(expr, ast.InList):
+            return ast.InList(
+                self._transform_expr(expr.expr, mapping),
+                tuple(self._transform_expr(item, mapping) for item in expr.items),
+                expr.negated,
+            )
+        if isinstance(expr, ast.Between):
+            return ast.Between(
+                self._transform_expr(expr.expr, mapping),
+                self._transform_expr(expr.low, mapping),
+                self._transform_expr(expr.high, mapping),
+                expr.negated,
+            )
+        if isinstance(expr, ast.Like):
+            return ast.Like(
+                self._transform_expr(expr.expr, mapping), expr.pattern, expr.negated
+            )
+        if isinstance(expr, ast.IsNull):
+            return ast.IsNull(
+                self._transform_expr(expr.expr, mapping), expr.negated
+            )
+        raise OpDeltaError(
+            f"cannot transform expression node {type(expr).__name__}"
+        )

@@ -1,0 +1,89 @@
+"""Mini relational engine: the reproduction's source-system substrate.
+
+Public surface:
+
+* :class:`Database`, :class:`Session` — instance + SQL entry point
+* :class:`TableSchema`, :class:`Column`, datatypes — schema definition
+* :class:`CostModel` — the calibrated virtual-cost constants
+* triggers, WAL/archive segments, utilities, snapshots, remote links,
+  recovery — the substrates the four extraction methods run on
+"""
+
+from .buffer import DEFAULT_POOL_PAGES, BufferPool
+from .costs import DEFAULT_COST_MODEL, CostModel
+from .database import Database
+from .recovery import clone_schemas, recover_from_archive
+from .remote import LinkKind, RemoteSession, open_remote
+from .rows import RowId
+from .schema import Column, SchemaDiff, TableSchema, diff_schemas
+from .session import Session
+from .snapshots import Snapshot, take_snapshot
+from .table import InsertMode, Table
+from .transactions import Transaction, TransactionManager, TxnState
+from .triggers import (
+    Trigger,
+    TriggerContext,
+    TriggerEvent,
+    TriggerSet,
+    TriggerTiming,
+)
+from .types import FLOAT, INTEGER, TIMESTAMP, CharType, DataType, char
+from .utilities import (
+    AsciiFile,
+    ExportDump,
+    ascii_dump_rows,
+    ascii_dump_table,
+    ascii_load,
+    export_table,
+    import_dump,
+)
+from .wal import LOG_FORMAT_VERSION, LogManager, LogRecord, LogRecordKind, LogSegment
+
+__all__ = [
+    "BufferPool",
+    "DEFAULT_POOL_PAGES",
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    "Database",
+    "Session",
+    "Table",
+    "InsertMode",
+    "TableSchema",
+    "Column",
+    "SchemaDiff",
+    "diff_schemas",
+    "RowId",
+    "Transaction",
+    "TransactionManager",
+    "TxnState",
+    "Trigger",
+    "TriggerContext",
+    "TriggerEvent",
+    "TriggerSet",
+    "TriggerTiming",
+    "DataType",
+    "CharType",
+    "INTEGER",
+    "FLOAT",
+    "TIMESTAMP",
+    "char",
+    "ExportDump",
+    "AsciiFile",
+    "export_table",
+    "import_dump",
+    "ascii_dump_rows",
+    "ascii_dump_table",
+    "ascii_load",
+    "Snapshot",
+    "take_snapshot",
+    "LinkKind",
+    "RemoteSession",
+    "open_remote",
+    "LogManager",
+    "LogRecord",
+    "LogRecordKind",
+    "LogSegment",
+    "LOG_FORMAT_VERSION",
+    "recover_from_archive",
+    "clone_schemas",
+]

@@ -1,0 +1,115 @@
+"""Calibrated virtual-cost model for the storage engine.
+
+The paper's experiments ran on a 300 MHz NT server with 128 MB of RAM hosting
+a commercial DBMS; its tables report wall-clock times.  This reproduction
+replaces the testbed with a deterministic cost model: every engine primitive
+(page I/O, log append, log force, per-row CPU, statement dispatch, network
+round trip, ...) charges a :class:`repro.clock.VirtualClock` through the
+constants below.
+
+The constants were calibrated once, analytically, against the paper's
+published numbers (Tables 1-4, Figures 2-3) and are **never** adjusted by the
+benchmarks — the experiment shapes are emergent from which primitives each
+code path exercises:
+
+* an OLTP ``INSERT`` pays row CPU + primary-index maintenance + a WAL append,
+  so a row trigger (one extra unindexed insert per row) costs ~80-100% on
+  top of it (Figure 2);
+* ``UPDATE``/``DELETE`` transactions pay a table scan whose cost amortises
+  over the rows they touch, so trigger overhead *rises* with transaction
+  size (Figure 2) while the constant-size Op-Delta capture overhead *falls*
+  (Figure 3, Table 4);
+* the Import utility refills internal pages and reorganises what it has
+  already loaded on every staging-buffer overflow, which is why it loses to
+  the direct block Loader by a growing margin (Table 1).
+
+All costs are in **virtual milliseconds**; sizes in bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-primitive virtual costs charged by the engine.
+
+    Instances are immutable; use :meth:`scaled` to derive variants (e.g. a
+    slower disk for a sensitivity ablation).
+    """
+
+    # --- buffer pool / disk -------------------------------------------------
+    page_read_hit: float = 0.015       # logical read satisfied by the pool
+    page_read_miss: float = 6.0        # random read from disk
+    page_write: float = 8.0            # random write-back of a dirty page
+    seq_page_read: float = 1.5         # sequential read (utilities)
+    seq_page_write: float = 1.5        # sequential write (utilities)
+
+    # --- per-row CPU --------------------------------------------------------
+    row_scan_cpu: float = 0.0002       # visiting one row during a scan
+    row_insert_cpu: float = 3.0        # slotting, constraints, free-space
+    row_update_cpu: float = 1.8        # in-place field rewrite
+    row_delete_cpu: float = 2.5        # slot reclaim, free-space update
+    bulk_client_cpu_factor: float = 0.83   # client-side bulk insert (array op)
+    bulk_internal_cpu_factor: float = 0.30  # fully internal INSERT..SELECT
+
+    # --- indexes ------------------------------------------------------------
+    index_insert: float = 1.1
+    index_delete: float = 1.0
+    index_lookup: float = 0.05         # probe per matching entry
+
+    # --- write-ahead log ----------------------------------------------------
+    log_append_base: float = 0.3       # per log record
+    log_append_per_byte: float = 0.002
+    log_force: float = 4.0             # group-commit fsync
+
+    # --- statements / transactions -------------------------------------------
+    stmt_overhead: float = 2.5         # parse + plan + dispatch of one SQL stmt
+    trigger_invoke: float = 0.5        # firing machinery per row trigger
+
+    # --- connections / network ----------------------------------------------
+    connection_setup: float = 250.0    # establishing a database connection
+    ipc_round_trip: float = 25.0       # statement to another DB, same machine
+    lan_round_trip: float = 50.0       # statement across the 10 Mb/s LAN
+    net_per_byte: float = 0.0008       # 10 Mb/s ~ 1.25 MB/s payload cost
+
+    # --- flat files ----------------------------------------------------------
+    file_open: float = 1.0
+    file_write_per_byte: float = 0.005
+    file_read_per_byte: float = 0.001
+    file_sync: float = 2.0
+
+    # --- utilities (Export / Import / Loader, Table 1) -----------------------
+    ascii_format_row: float = 0.1      # render a row as a delimited line
+    ascii_parse_row: float = 0.3       # parse a delimited line back
+    export_row_cpu: float = 0.1
+    loader_row_cpu: float = 0.9        # direct block formatting
+    import_row_cpu: float = 0.7        # page-buffer fill bookkeeping
+    import_staging_rows: int = 4864    # rows per internal staging flush
+    import_reorg_per_loaded_row: float = 0.29  # reorg cost per already-loaded
+                                               # row, charged at each flush
+
+    def log_append(self, payload_bytes: int) -> float:
+        """Cost of appending one WAL record carrying ``payload_bytes``."""
+        return self.log_append_base + self.log_append_per_byte * payload_bytes
+
+    def file_write(self, num_bytes: int) -> float:
+        """Cost of appending ``num_bytes`` to an OS file (no sync)."""
+        return self.file_write_per_byte * num_bytes
+
+    def file_read(self, num_bytes: int) -> float:
+        """Cost of reading ``num_bytes`` from an OS file."""
+        return self.file_read_per_byte * num_bytes
+
+    def network_transfer(self, num_bytes: int) -> float:
+        """Payload cost of moving ``num_bytes`` across the LAN."""
+        return self.net_per_byte * num_bytes
+
+    def scaled(self, **overrides: float) -> "CostModel":
+        """Return a copy with the given constants replaced."""
+        return replace(self, **overrides)
+
+
+#: The calibrated model used by every experiment unless overridden.
+DEFAULT_COST_MODEL = CostModel()

@@ -1,0 +1,382 @@
+"""Tables: DML with index maintenance, triggers, WAL and undo.
+
+This module is where the paper's measured effects are produced:
+
+* every insert pays row CPU + index maintenance + a WAL append — the base
+  cost that Figure 2's trigger overhead is measured against;
+* row triggers fire in the same transaction as the statement and their own
+  changes are logged and undoable;
+* bulk insert paths (client array insert, fully-internal INSERT..SELECT)
+  pay reduced per-row CPU, which is why writing a delta *table* during
+  timestamp extraction is cheaper per row than OLTP inserts but still far
+  more expensive than writing a flat file (Table 2).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Iterable, Iterator, Mapping, Sequence
+
+from ..clock import VirtualClock
+from ..errors import CatalogError, ConstraintError, SchemaError
+from .buffer import BufferPool
+from .costs import CostModel
+from .heap import HeapFile
+from .index import BTreeIndex, HashIndex, Index
+from .rows import RowId, decode_row, encode_row
+from .schema import TableSchema
+from .transactions import Transaction
+from .triggers import TriggerContext, TriggerEvent, TriggerSet, TriggerTiming
+from .wal import LogManager, LogRecordKind
+
+
+class InsertMode(enum.Enum):
+    """How rows arrive, with the per-row CPU factor each path pays.
+
+    STATEMENT      one client statement per row (OLTP inserts; factor 1.0)
+    BULK_CLIENT    client-side array insert (Op-Delta log store; factor ~0.83)
+    BULK_INTERNAL  fully internal INSERT..SELECT / utility fill (factor ~0.3)
+    """
+
+    STATEMENT = "statement"
+    BULK_CLIENT = "bulk_client"
+    BULK_INTERNAL = "bulk_internal"
+
+
+class Table:
+    """A heap table with optional indexes, triggers and auto timestamps."""
+
+    def __init__(
+        self,
+        schema: TableSchema,
+        buffer_pool: BufferPool,
+        log: LogManager,
+        clock: VirtualClock,
+        costs: CostModel,
+        auto_timestamp: bool = False,
+    ) -> None:
+        self.schema = schema
+        self.name = schema.name
+        self._pool = buffer_pool
+        self._log = log
+        self._clock = clock
+        self._costs = costs
+        self._heap = HeapFile(buffer_pool, schema.record_size)
+        self._indexes: dict[str, Index] = {}
+        self.triggers = TriggerSet(clock, costs)
+        self.auto_timestamp = auto_timestamp and schema.timestamp_column is not None
+        self._ts_index = (
+            schema.column_index(schema.timestamp_column)
+            if schema.timestamp_column is not None
+            else None
+        )
+
+    # ----------------------------------------------------------------- status
+    @property
+    def num_rows(self) -> int:
+        return self._heap.num_records
+
+    @property
+    def num_pages(self) -> int:
+        return self._heap.num_pages
+
+    @property
+    def size_bytes(self) -> int:
+        return self._heap.num_records * self.schema.record_size
+
+    # ----------------------------------------------------------------- indexes
+    def create_index(
+        self, name: str, column: str, unique: bool = False, kind: str = "btree"
+    ) -> Index:
+        """Create an index and build it from the existing rows."""
+        if name in self._indexes:
+            raise CatalogError(f"index {name!r} already exists on {self.name!r}")
+        self.schema.column(column)  # raises on unknown column
+        if kind == "btree":
+            index: Index = BTreeIndex(name, column, self._clock, self._costs, unique)
+        elif kind == "hash":
+            index = HashIndex(name, column, self._clock, self._costs, unique)
+        else:
+            raise CatalogError(f"unknown index kind {kind!r}")
+        position = self.schema.column_index(column)
+        for row_id, record in self._heap.scan():
+            values = decode_row(self.schema, record)
+            index.insert(values[position], row_id)
+        self._indexes[name] = index
+        return index
+
+    def drop_index(self, name: str) -> None:
+        if name not in self._indexes:
+            raise CatalogError(f"index {name!r} does not exist on {self.name!r}")
+        del self._indexes[name]
+
+    def index(self, name: str) -> Index:
+        try:
+            return self._indexes[name]
+        except KeyError:
+            raise CatalogError(f"index {name!r} does not exist on {self.name!r}") from None
+
+    def index_on(self, column: str) -> Index | None:
+        """The first index over ``column``, if any (planner hook)."""
+        for index in self._indexes.values():
+            if index.column == column:
+                return index
+        return None
+
+    @property
+    def index_names(self) -> tuple[str, ...]:
+        return tuple(self._indexes)
+
+    # --------------------------------------------------------------------- DML
+    def insert(
+        self,
+        txn: Transaction,
+        values: Sequence[Any],
+        mode: InsertMode = InsertMode.STATEMENT,
+        fire_triggers: bool = True,
+    ) -> RowId:
+        """Insert one row; returns its RowId."""
+        values = self.schema.validate_values(tuple(values))
+        values = self._stamp(values)
+        self._check_unique(values)
+
+        factor = self._mode_factor(mode)
+        self._clock.advance(self._costs.row_insert_cpu * factor)
+
+        if fire_triggers:
+            self._fire(txn, TriggerEvent.INSERT, TriggerTiming.BEFORE, None, values)
+
+        record = encode_row(self.schema, values)
+        row_id = self._heap.insert(record)
+        for index in self._indexes.values():
+            key = values[self.schema.column_index(index.column)]
+            index.insert(key, row_id)
+        self._log.append(
+            LogRecordKind.INSERT, txn.txn_id, self.name, row_id, after=record
+        )
+        txn.rows_inserted += 1
+        txn.register_undo(lambda: self._physical_delete(row_id, values))
+
+        if fire_triggers:
+            self._fire(txn, TriggerEvent.INSERT, TriggerTiming.AFTER, None, values)
+        return row_id
+
+    def insert_many(
+        self,
+        txn: Transaction,
+        rows: Iterable[Sequence[Any]],
+        mode: InsertMode = InsertMode.BULK_CLIENT,
+        fire_triggers: bool = True,
+    ) -> int:
+        """Insert many rows through a bulk path; returns the count."""
+        count = 0
+        for values in rows:
+            self.insert(txn, values, mode=mode, fire_triggers=fire_triggers)
+            count += 1
+        return count
+
+    def update(
+        self,
+        txn: Transaction,
+        row_id: RowId,
+        assignments: Mapping[str, Any],
+        fire_triggers: bool = True,
+    ) -> tuple[tuple[Any, ...], tuple[Any, ...]]:
+        """Apply column assignments to one row; returns (old, new) values."""
+        if not assignments:
+            raise SchemaError("update requires at least one assignment")
+        old_record = self._heap.read(row_id)
+        old_values = decode_row(self.schema, old_record)
+        new_list = list(old_values)
+        for column_name, value in assignments.items():
+            new_list[self.schema.column_index(column_name)] = value
+        new_values = self.schema.validate_values(new_list)
+        if self.auto_timestamp and self.schema.timestamp_column not in assignments:
+            new_values = self._stamp(new_values, force=True)
+        self._check_unique(new_values, exclude=row_id, changed_from=old_values)
+
+        self._clock.advance(self._costs.row_update_cpu)
+
+        if fire_triggers:
+            self._fire(txn, TriggerEvent.UPDATE, TriggerTiming.BEFORE, old_values, new_values)
+
+        new_record = encode_row(self.schema, new_values)
+        self._heap.overwrite(row_id, new_record)
+        self._maintain_indexes(row_id, old_values, new_values)
+        self._log.append(
+            LogRecordKind.UPDATE, txn.txn_id, self.name, row_id,
+            before=old_record, after=new_record,
+        )
+        txn.rows_updated += 1
+        txn.register_undo(lambda: self._physical_restore(row_id, new_values, old_values))
+
+        if fire_triggers:
+            self._fire(txn, TriggerEvent.UPDATE, TriggerTiming.AFTER, old_values, new_values)
+        return old_values, new_values
+
+    def delete(
+        self,
+        txn: Transaction,
+        row_id: RowId,
+        fire_triggers: bool = True,
+    ) -> tuple[Any, ...]:
+        """Delete one row; returns its old values."""
+        old_record = self._heap.read(row_id)
+        old_values = decode_row(self.schema, old_record)
+
+        self._clock.advance(self._costs.row_delete_cpu)
+
+        if fire_triggers:
+            self._fire(txn, TriggerEvent.DELETE, TriggerTiming.BEFORE, old_values, None)
+
+        self._heap.delete(row_id)
+        for index in self._indexes.values():
+            key = old_values[self.schema.column_index(index.column)]
+            index.delete(key, row_id)
+        self._log.append(
+            LogRecordKind.DELETE, txn.txn_id, self.name, row_id, before=old_record
+        )
+        txn.rows_deleted += 1
+        txn.register_undo(lambda: self._physical_reinsert(old_values))
+
+        if fire_triggers:
+            self._fire(txn, TriggerEvent.DELETE, TriggerTiming.AFTER, old_values, None)
+        return old_values
+
+    # ------------------------------------------------------------------- reads
+    def read(self, row_id: RowId) -> tuple[Any, ...]:
+        """Fetch one row by physical id."""
+        return decode_row(self.schema, self._heap.read(row_id))
+
+    def scan(self) -> Iterator[tuple[RowId, tuple[Any, ...]]]:
+        """Full scan in physical order, charging per-row scan CPU."""
+        advance = self._clock.advance
+        scan_cpu = self._costs.row_scan_cpu
+        schema = self.schema
+        for row_id, record in self._heap.scan():
+            advance(scan_cpu)
+            yield row_id, decode_row(schema, record)
+
+    def lookup(self, column: str, key: Any) -> list[tuple[RowId, tuple[Any, ...]]]:
+        """Equality lookup through an index on ``column`` (must exist)."""
+        index = self.index_on(column)
+        if index is None:
+            raise CatalogError(f"no index on {self.name}.{column}")
+        results = []
+        for row_id in index.lookup(key):
+            results.append((row_id, self.read(row_id)))
+        return results
+
+    # ---------------------------------------------------------------- recovery
+    def redo_insert(self, row_id: RowId, record: bytes) -> None:
+        """Replay a logged INSERT at its original address (no log, no triggers)."""
+        values = decode_row(self.schema, record)
+        self._heap.place(row_id, record)
+        for index in self._indexes.values():
+            index.insert(values[self.schema.column_index(index.column)], row_id)
+
+    def redo_update(self, row_id: RowId, after: bytes) -> None:
+        """Replay a logged UPDATE in place."""
+        old_values = decode_row(self.schema, self._heap.read(row_id))
+        self._heap.overwrite(row_id, after)
+        self._maintain_indexes(row_id, old_values, decode_row(self.schema, after))
+
+    def redo_delete(self, row_id: RowId) -> None:
+        """Replay a logged DELETE."""
+        old_values = decode_row(self.schema, self._heap.read(row_id))
+        self._heap.delete(row_id)
+        for index in self._indexes.values():
+            index.delete(old_values[self.schema.column_index(index.column)], row_id)
+
+    def truncate(self) -> int:
+        """Remove all rows (minimal logging, like the real utility)."""
+        removed = self._heap.truncate()
+        for name, index in list(self._indexes.items()):
+            rebuilt = type(index)(
+                index.name, index.column, self._clock, self._costs, index.unique
+            )
+            self._indexes[name] = rebuilt
+        return removed
+
+    # --------------------------------------------------------------- internals
+    def _mode_factor(self, mode: InsertMode) -> float:
+        if mode is InsertMode.BULK_CLIENT:
+            return self._costs.bulk_client_cpu_factor
+        if mode is InsertMode.BULK_INTERNAL:
+            return self._costs.bulk_internal_cpu_factor
+        return 1.0
+
+    def _stamp(self, values: tuple[Any, ...], force: bool = False) -> tuple[Any, ...]:
+        """Fill the timestamp column from the virtual clock when configured."""
+        if not self.auto_timestamp or self._ts_index is None:
+            return values
+        if not force and values[self._ts_index] is not None:
+            return values
+        stamped = list(values)
+        stamped[self._ts_index] = self._clock.timestamp()
+        return tuple(stamped)
+
+    def _check_unique(
+        self,
+        values: tuple[Any, ...],
+        exclude: RowId | None = None,
+        changed_from: tuple[Any, ...] | None = None,
+    ) -> None:
+        for index in self._indexes.values():
+            if not index.unique:
+                continue
+            position = self.schema.column_index(index.column)
+            key = values[position]
+            if changed_from is not None and changed_from[position] == key:
+                continue  # key unchanged; the existing entry is this row's own
+            for row_id in index.lookup(key):
+                if row_id != exclude:
+                    raise ConstraintError(
+                        f"duplicate key {key!r} for unique index {index.name!r} "
+                        f"on {self.name!r}"
+                    )
+
+    def _maintain_indexes(
+        self, row_id: RowId, old_values: tuple[Any, ...], new_values: tuple[Any, ...]
+    ) -> None:
+        for index in self._indexes.values():
+            position = self.schema.column_index(index.column)
+            old_key, new_key = old_values[position], new_values[position]
+            if old_key != new_key:
+                index.delete(old_key, row_id)
+                index.insert(new_key, row_id)
+
+    def _fire(
+        self,
+        txn: Transaction,
+        event: TriggerEvent,
+        timing: TriggerTiming,
+        old_values: tuple[Any, ...] | None,
+        new_values: tuple[Any, ...] | None,
+    ) -> None:
+        if len(self.triggers) == 0:
+            return
+        context = TriggerContext(txn, self, event, old_values, new_values)
+        self.triggers.fire(timing, context)
+
+    # Undo helpers: physical compensation, no logging, no triggers.
+    def _physical_delete(self, row_id: RowId, values: tuple[Any, ...]) -> None:
+        self._heap.delete(row_id)
+        for index in self._indexes.values():
+            key = values[self.schema.column_index(index.column)]
+            index.delete(key, row_id)
+
+    def _physical_restore(
+        self, row_id: RowId, current: tuple[Any, ...], previous: tuple[Any, ...]
+    ) -> None:
+        self._heap.overwrite(row_id, encode_row(self.schema, previous))
+        self._maintain_indexes(row_id, current, previous)
+
+    def _physical_reinsert(self, values: tuple[Any, ...]) -> None:
+        row_id = self._heap.insert(encode_row(self.schema, values))
+        for index in self._indexes.values():
+            key = values[self.schema.column_index(index.column)]
+            index.insert(key, row_id)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Table({self.name!r}, rows={self.num_rows}, indexes={list(self._indexes)})"

@@ -1,0 +1,234 @@
+"""Write-ahead log with checkpoints and archive segments.
+
+The engine logs physiologically (paper §3.1.4, citing Gray & Reuter): each
+record carries the physical address (:class:`RowId`) plus the encoded before
+and/or after images.  Committed work is made "durable" by forcing the log
+(a group-commit fsync charge).
+
+When **archive mode** is on, segments are retained at checkpoint time instead
+of being recycled — this is exactly the hook the log-based extraction method
+(§3.1.4) depends on.  Segments are tagged with the producing product name,
+version and log-format version so that :mod:`repro.extraction.logscan` can
+reproduce the paper's compatibility hazards: proprietary formats, version
+skew across releases, and cross-product incompatibility.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from ..clock import VirtualClock
+from ..errors import LogError
+from .costs import CostModel
+from .rows import RowId
+
+#: Simulated proprietary log-format version; bump-on-release semantics.
+LOG_FORMAT_VERSION = "7.3"
+
+
+class LogRecordKind(enum.Enum):
+    BEGIN = "BEGIN"
+    COMMIT = "COMMIT"
+    ABORT = "ABORT"
+    INSERT = "INSERT"
+    UPDATE = "UPDATE"
+    DELETE = "DELETE"
+    CHECKPOINT = "CHECKPOINT"
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One physiological log record."""
+
+    lsn: int
+    kind: LogRecordKind
+    txn_id: int
+    table: str | None = None
+    row_id: RowId | None = None
+    before: bytes | None = None
+    after: bytes | None = None
+
+    @property
+    def payload_bytes(self) -> int:
+        """Approximate on-disk size, used for cost accounting."""
+        size = 32  # header: lsn, kind, txn, table ref, row id
+        if self.before is not None:
+            size += len(self.before)
+        if self.after is not None:
+            size += len(self.after)
+        return size
+
+    def is_data_change(self) -> bool:
+        return self.kind in (
+            LogRecordKind.INSERT,
+            LogRecordKind.UPDATE,
+            LogRecordKind.DELETE,
+        )
+
+
+@dataclass
+class LogSegment:
+    """A closed run of log records plus provenance metadata.
+
+    ``product`` / ``product_version`` / ``format_version`` model the
+    proprietary-format hazards of §3.1.4: a reader must match all three.
+    """
+
+    segment_id: int
+    product: str
+    product_version: str
+    format_version: str
+    records: list[LogRecord] = field(default_factory=list)
+
+    @property
+    def first_lsn(self) -> int | None:
+        return self.records[0].lsn if self.records else None
+
+    @property
+    def last_lsn(self) -> int | None:
+        return self.records[-1].lsn if self.records else None
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+class LogManager:
+    """Appends, forces, checkpoints and archives the WAL."""
+
+    def __init__(
+        self,
+        clock: VirtualClock,
+        costs: CostModel,
+        product: str = "ReproDB",
+        product_version: str = "1.0",
+        archive_mode: bool = False,
+    ) -> None:
+        self._clock = clock
+        self._costs = costs
+        self.product = product
+        self.product_version = product_version
+        self.archive_mode = archive_mode
+        self._next_lsn = 1
+        self._next_segment_id = 1
+        self._active: list[LogRecord] = []
+        self._archived: list[LogSegment] = []
+        self._flushed_lsn = 0
+
+    # ------------------------------------------------------------------ write
+    def append(
+        self,
+        kind: LogRecordKind,
+        txn_id: int,
+        table: str | None = None,
+        row_id: RowId | None = None,
+        before: bytes | None = None,
+        after: bytes | None = None,
+    ) -> LogRecord:
+        record = LogRecord(self._next_lsn, kind, txn_id, table, row_id, before, after)
+        self._next_lsn += 1
+        self._active.append(record)
+        self._clock.advance(self._costs.log_append(record.payload_bytes))
+        return record
+
+    def force(self) -> int:
+        """Flush the log up to the last appended record (commit durability)."""
+        if self._active and self._active[-1].lsn > self._flushed_lsn:
+            self._clock.advance(self._costs.log_force)
+            self._flushed_lsn = self._active[-1].lsn
+        return self._flushed_lsn
+
+    @property
+    def flushed_lsn(self) -> int:
+        return self._flushed_lsn
+
+    @property
+    def current_lsn(self) -> int:
+        """LSN that the *next* record will receive."""
+        return self._next_lsn
+
+    # ------------------------------------------------------------- checkpoint
+    def checkpoint(self) -> LogSegment | None:
+        """Close the active segment.
+
+        With archiving on, the closed segment is retained and returned;
+        otherwise it is recycled (discarded) and ``None`` is returned —
+        exactly the behaviour §3.1.4 describes for redo logs.
+        """
+        self.append(LogRecordKind.CHECKPOINT, txn_id=0)
+        self.force()
+        segment = LogSegment(
+            segment_id=self._next_segment_id,
+            product=self.product,
+            product_version=self.product_version,
+            format_version=LOG_FORMAT_VERSION,
+            records=self._active,
+        )
+        self._next_segment_id += 1
+        self._active = []
+        if self.archive_mode:
+            self._archived.append(segment)
+            return segment
+        return None
+
+    # ------------------------------------------------------------------- read
+    @property
+    def archived_segments(self) -> tuple[LogSegment, ...]:
+        return tuple(self._archived)
+
+    def archived_records(self) -> Iterator[LogRecord]:
+        """All records across archived segments, in LSN order."""
+        for segment in self._archived:
+            yield from segment.records
+
+    def active_records(self) -> tuple[LogRecord, ...]:
+        """Records not yet closed into a segment (for tests/inspection)."""
+        return tuple(self._active)
+
+    def drain_archive(self, up_to_segment: int | None = None) -> list[LogSegment]:
+        """Remove and return archived segments (they have been 'shipped')."""
+        if up_to_segment is None:
+            shipped, self._archived = self._archived, []
+            return shipped
+        shipped = [s for s in self._archived if s.segment_id <= up_to_segment]
+        self._archived = [s for s in self._archived if s.segment_id > up_to_segment]
+        return shipped
+
+
+def records_for_tables(
+    records: Iterable[LogRecord], tables: set[str]
+) -> Iterator[LogRecord]:
+    """Filter a record stream down to data changes on the given tables."""
+    for record in records:
+        if record.is_data_change() and record.table in tables:
+            yield record
+
+
+def committed_txn_ids(records: Iterable[LogRecord]) -> set[int]:
+    """The transaction ids with a COMMIT record in the stream."""
+    return {r.txn_id for r in records if r.kind is LogRecordKind.COMMIT}
+
+
+def require_compatible(segment: LogSegment, product: str, product_version: str) -> None:
+    """Raise :class:`LogError` unless the segment matches the reader exactly.
+
+    This models §3.1.4: log formats are proprietary, change across releases,
+    and are never compatible across DBMS products.
+    """
+    if segment.product != product:
+        raise LogError(
+            f"log segment {segment.segment_id} was written by {segment.product!r}; "
+            f"reader is {product!r} (cross-product log reading is not supported)"
+        )
+    if segment.product_version != product_version:
+        raise LogError(
+            f"log segment {segment.segment_id} has product version "
+            f"{segment.product_version!r}; reader expects {product_version!r} "
+            "(log formats change across releases)"
+        )
+    if segment.format_version != LOG_FORMAT_VERSION:
+        raise LogError(
+            f"log segment {segment.segment_id} has format version "
+            f"{segment.format_version!r}; reader expects {LOG_FORMAT_VERSION!r}"
+        )

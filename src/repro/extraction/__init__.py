@@ -1,0 +1,42 @@
+"""The four value-delta extraction methods of paper §3.
+
+* :mod:`~repro.extraction.timestamp` — query on a last-modified column
+* :mod:`~repro.extraction.snapshot_diff` — differential snapshots (LGM '96)
+* :mod:`~repro.extraction.trigger` — row triggers into a delta table
+* :mod:`~repro.extraction.logscan` — archive-log scanning
+
+All methods emit the same currency, :class:`~repro.extraction.deltas.DeltaBatch`.
+"""
+
+from .deltas import ChangeKind, DeltaBatch, DeltaRecord, apply_batch_to_rows
+from .logscan import LogExtraction, LogExtractor
+from .snapshot_diff import (
+    ALGORITHMS,
+    diff_naive,
+    diff_snapshots,
+    diff_sort_merge,
+    diff_window,
+)
+from .timestamp import TimestampExtraction, TimestampExtractor
+from .trigger import TriggerExtractor
+from .writers import DeltaTableWriter, delta_rows_to_batch, delta_table_schema
+
+__all__ = [
+    "ChangeKind",
+    "DeltaBatch",
+    "DeltaRecord",
+    "apply_batch_to_rows",
+    "TimestampExtractor",
+    "TimestampExtraction",
+    "diff_snapshots",
+    "diff_naive",
+    "diff_sort_merge",
+    "diff_window",
+    "ALGORITHMS",
+    "TriggerExtractor",
+    "LogExtractor",
+    "LogExtraction",
+    "DeltaTableWriter",
+    "delta_rows_to_batch",
+    "delta_table_schema",
+]

@@ -1,0 +1,6 @@
+"""Discrete-event simulation kernel for the availability experiments."""
+
+from .kernel import Environment, Event, Process, Timeout
+from .resources import LockMode, RWLock
+
+__all__ = ["Environment", "Event", "Process", "Timeout", "RWLock", "LockMode"]

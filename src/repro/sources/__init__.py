@@ -1,0 +1,27 @@
+"""Source-system architectures: COTS encapsulation, replication,
+distribution, heterogeneity, and delta reconciliation (paper §2)."""
+
+from .cots import CotsSystem
+from .enterprise import IntegratedEnterprise, Partition
+from .reconcile import ReconciliationConflict, ReconciliationResult, Reconciler
+from .middleware import (
+    MethodCallMapper,
+    MethodDelta,
+    MethodDeltaApplier,
+    MiddlewareCapture,
+)
+from .replication import ReplicationLink
+
+__all__ = [
+    "CotsSystem",
+    "ReplicationLink",
+    "MiddlewareCapture",
+    "MethodDelta",
+    "MethodCallMapper",
+    "MethodDeltaApplier",
+    "IntegratedEnterprise",
+    "Partition",
+    "Reconciler",
+    "ReconciliationResult",
+    "ReconciliationConflict",
+]

@@ -1,0 +1,133 @@
+"""Reconciling deltas extracted from replicated sources (§2.2, §4.1).
+
+Database-level extraction (triggers, logs, timestamps) sees a replicated
+change once per replica.  Before integration, those copies must be
+reconciled into one authoritative delta stream: duplicates dropped,
+divergences detected.  "The farther away from the data sources, the less
+knowledge there is about the semantics of replications, and more
+challenging the reconciliation process becomes" — Op-Delta avoids the whole
+problem by capturing above the replication layer, which the tests
+demonstrate by comparing both pipelines on the same workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..errors import ExtractionError
+from ..extraction.deltas import DeltaBatch, DeltaRecord
+
+
+@dataclass(frozen=True)
+class ReconciliationConflict:
+    """Replicas disagree about one key's net change."""
+
+    key: Any
+    authoritative_system: str
+    conflicting_system: str
+    authoritative_effect: str
+    conflicting_effect: str
+
+
+@dataclass
+class ReconciliationResult:
+    """Outcome of reconciling one logical table's replicated deltas."""
+
+    batch: DeltaBatch
+    duplicates_dropped: int = 0
+    conflicts: list[ReconciliationConflict] = field(default_factory=list)
+    missing_at_replicas: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.conflicts
+
+
+class Reconciler:
+    """Merges per-replica delta batches into one authoritative batch."""
+
+    def __init__(self, authoritative_system: str) -> None:
+        self.authoritative_system = authoritative_system
+
+    def reconcile(self, batches: dict[str, DeltaBatch]) -> ReconciliationResult:
+        """Reconcile replica batches keyed by system name.
+
+        The authoritative system's batch is taken verbatim; every other
+        replica's records count as duplicates when their per-key net effect
+        agrees, as conflicts when it disagrees, and as replica lag
+        (``missing_at_replicas``) when absent.
+        """
+        if self.authoritative_system not in batches:
+            raise ExtractionError(
+                f"no batch from the authoritative system "
+                f"{self.authoritative_system!r}"
+            )
+        authoritative = batches[self.authoritative_system]
+        result = ReconciliationResult(
+            batch=DeltaBatch(
+                authoritative.table, authoritative.schema,
+                list(authoritative.records),
+            )
+        )
+        ts_index = (
+            authoritative.schema.column_index(authoritative.schema.timestamp_column)
+            if authoritative.schema.timestamp_column is not None
+            else None
+        )
+        reference = {
+            key: self._effect_signature(record, ts_index)
+            for key, record in authoritative.net_effect().items()
+        }
+        for system, batch in batches.items():
+            if system == self.authoritative_system:
+                continue
+            if batch.table != authoritative.table:
+                raise ExtractionError(
+                    f"system {system!r} delivered deltas for {batch.table!r}, "
+                    f"expected {authoritative.table!r}"
+                )
+            replica_effects = {
+                key: self._effect_signature(record, ts_index)
+                for key, record in batch.net_effect().items()
+            }
+            for key, signature in replica_effects.items():
+                expected = reference.get(key)
+                if expected is None:
+                    result.conflicts.append(
+                        ReconciliationConflict(
+                            key, self.authoritative_system, system,
+                            "<no change>", signature,
+                        )
+                    )
+                elif expected == signature:
+                    result.duplicates_dropped += 1
+                else:
+                    result.conflicts.append(
+                        ReconciliationConflict(
+                            key, self.authoritative_system, system,
+                            expected, signature,
+                        )
+                    )
+            result.missing_at_replicas += sum(
+                1 for key in reference if key not in replica_effects
+            )
+        return result
+
+    @staticmethod
+    def _effect_signature(record: DeltaRecord, ts_index: int | None) -> str:
+        """A comparable rendering of a record's net effect on its key.
+
+        The timestamp column is excluded: replicas stamp rows from their
+        own clocks, so it legitimately differs for the same logical change.
+        """
+        if record.after is None:
+            after = "·"
+        else:
+            values = tuple(
+                value
+                for index, value in enumerate(record.after)
+                if index != ts_index
+            )
+            after = repr(values)
+        return f"{record.kind.value}:{after}"

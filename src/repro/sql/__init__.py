@@ -1,0 +1,17 @@
+"""SQL front end: lexer, parser, AST, expression evaluation, executor."""
+
+from . import ast_nodes
+from .executor import Executor, Result
+from .lexer import Token, TokenKind, tokenize
+from .parser import parse, parse_expression
+
+__all__ = [
+    "ast_nodes",
+    "Executor",
+    "Result",
+    "Token",
+    "TokenKind",
+    "tokenize",
+    "parse",
+    "parse_expression",
+]

@@ -1,0 +1,346 @@
+"""SQL abstract syntax tree.
+
+Expression and statement nodes are plain frozen dataclasses.  Every node can
+render itself back to SQL text (``to_sql``) — Op-Delta relies on this: a
+captured operation is *the statement*, and transformation rules rewrite the
+AST and re-render it for the warehouse schema.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+
+def sql_literal(value: Any) -> str:
+    """Render a Python value as a SQL literal."""
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    escaped = str(value).replace("'", "''")
+    return f"'{escaped}'"
+
+
+# --------------------------------------------------------------- expressions
+class Expression:
+    """Marker base class for expression nodes."""
+
+    def to_sql(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Literal(Expression):
+    value: Any
+
+    def to_sql(self) -> str:
+        return sql_literal(self.value)
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expression):
+    name: str
+    table: str | None = None
+
+    def to_sql(self) -> str:
+        return f"{self.table}.{self.name}" if self.table else self.name
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expression):
+    """Arithmetic, comparison, AND/OR.  ``op`` is the SQL spelling."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+    def to_sql(self) -> str:
+        return f"({self.left.to_sql()} {self.op} {self.right.to_sql()})"
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expression):
+    op: str  # "NOT" or "-"
+    operand: Expression
+
+    def to_sql(self) -> str:
+        if self.op == "NOT":
+            return f"(NOT {self.operand.to_sql()})"
+        return f"({self.op}{self.operand.to_sql()})"
+
+
+@dataclass(frozen=True)
+class InList(Expression):
+    expr: Expression
+    items: tuple[Expression, ...]
+    negated: bool = False
+
+    def to_sql(self) -> str:
+        items = ", ".join(item.to_sql() for item in self.items)
+        negation = "NOT " if self.negated else ""
+        return f"({self.expr.to_sql()} {negation}IN ({items}))"
+
+
+@dataclass(frozen=True)
+class Between(Expression):
+    expr: Expression
+    low: Expression
+    high: Expression
+    negated: bool = False
+
+    def to_sql(self) -> str:
+        negation = "NOT " if self.negated else ""
+        return (
+            f"({self.expr.to_sql()} {negation}BETWEEN "
+            f"{self.low.to_sql()} AND {self.high.to_sql()})"
+        )
+
+
+@dataclass(frozen=True)
+class Like(Expression):
+    expr: Expression
+    pattern: str
+    negated: bool = False
+
+    def to_sql(self) -> str:
+        negation = "NOT " if self.negated else ""
+        return f"({self.expr.to_sql()} {negation}LIKE {sql_literal(self.pattern)})"
+
+
+@dataclass(frozen=True)
+class IsNull(Expression):
+    expr: Expression
+    negated: bool = False
+
+    def to_sql(self) -> str:
+        suffix = "IS NOT NULL" if self.negated else "IS NULL"
+        return f"({self.expr.to_sql()} {suffix})"
+
+
+AGGREGATE_FUNCTIONS = ("COUNT", "SUM", "AVG", "MIN", "MAX")
+
+
+@dataclass(frozen=True)
+class Aggregate(Expression):
+    """``COUNT(*)`` or ``SUM/AVG/MIN/MAX/COUNT(column)``."""
+
+    function: str
+    argument: ColumnRef | None  # None means COUNT(*)
+
+    def to_sql(self) -> str:
+        arg = "*" if self.argument is None else self.argument.to_sql()
+        return f"{self.function}({arg})"
+
+
+@dataclass(frozen=True)
+class Star(Expression):
+    """``*`` in a select list."""
+
+    def to_sql(self) -> str:
+        return "*"
+
+
+# ----------------------------------------------------------------- statements
+class Statement:
+    """Marker base class for statement nodes."""
+
+    def to_sql(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    expr: Expression
+    alias: str | None = None
+
+    def to_sql(self) -> str:
+        rendered = self.expr.to_sql()
+        return f"{rendered} AS {self.alias}" if self.alias else rendered
+
+
+@dataclass(frozen=True)
+class Join:
+    table: str
+    alias: str | None
+    left: ColumnRef
+    right: ColumnRef
+
+    def to_sql(self) -> str:
+        alias = f" {self.alias}" if self.alias else ""
+        return f"JOIN {self.table}{alias} ON {self.left.to_sql()} = {self.right.to_sql()}"
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    expr: Expression
+    ascending: bool = True
+
+    def to_sql(self) -> str:
+        return f"{self.expr.to_sql()} {'ASC' if self.ascending else 'DESC'}"
+
+
+@dataclass(frozen=True)
+class SelectStmt(Statement):
+    items: tuple[SelectItem, ...]
+    table: str | None = None
+    alias: str | None = None
+    joins: tuple[Join, ...] = ()
+    where: Expression | None = None
+    group_by: tuple[ColumnRef, ...] = ()
+    order_by: tuple[OrderItem, ...] = ()
+    limit: int | None = None
+
+    def to_sql(self) -> str:
+        parts = ["SELECT " + ", ".join(item.to_sql() for item in self.items)]
+        if self.table:
+            alias = f" {self.alias}" if self.alias else ""
+            parts.append(f"FROM {self.table}{alias}")
+        for join in self.joins:
+            parts.append(join.to_sql())
+        if self.where is not None:
+            parts.append(f"WHERE {self.where.to_sql()}")
+        if self.group_by:
+            parts.append("GROUP BY " + ", ".join(c.to_sql() for c in self.group_by))
+        if self.order_by:
+            parts.append("ORDER BY " + ", ".join(o.to_sql() for o in self.order_by))
+        if self.limit is not None:
+            parts.append(f"LIMIT {self.limit}")
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class InsertStmt(Statement):
+    table: str
+    columns: tuple[str, ...] | None
+    rows: tuple[tuple[Expression, ...], ...] = ()
+    select: SelectStmt | None = None
+
+    def to_sql(self) -> str:
+        cols = f" ({', '.join(self.columns)})" if self.columns else ""
+        if self.select is not None:
+            return f"INSERT INTO {self.table}{cols} {self.select.to_sql()}"
+        rows = ", ".join(
+            "(" + ", ".join(expr.to_sql() for expr in row) + ")" for row in self.rows
+        )
+        return f"INSERT INTO {self.table}{cols} VALUES {rows}"
+
+
+@dataclass(frozen=True)
+class Assignment:
+    column: str
+    expr: Expression
+
+    def to_sql(self) -> str:
+        return f"{self.column} = {self.expr.to_sql()}"
+
+
+@dataclass(frozen=True)
+class UpdateStmt(Statement):
+    table: str
+    assignments: tuple[Assignment, ...]
+    where: Expression | None = None
+
+    def to_sql(self) -> str:
+        sets = ", ".join(a.to_sql() for a in self.assignments)
+        where = f" WHERE {self.where.to_sql()}" if self.where is not None else ""
+        return f"UPDATE {self.table} SET {sets}{where}"
+
+
+@dataclass(frozen=True)
+class DeleteStmt(Statement):
+    table: str
+    where: Expression | None = None
+
+    def to_sql(self) -> str:
+        where = f" WHERE {self.where.to_sql()}" if self.where is not None else ""
+        return f"DELETE FROM {self.table}{where}"
+
+
+@dataclass(frozen=True)
+class ColumnDef:
+    name: str
+    type_name: str
+    type_arg: int | None = None
+    not_null: bool = False
+    primary_key: bool = False
+
+    def to_sql(self) -> str:
+        type_text = (
+            f"{self.type_name}({self.type_arg})" if self.type_arg is not None
+            else self.type_name
+        )
+        suffix = ""
+        if self.primary_key:
+            suffix = " PRIMARY KEY"
+        elif self.not_null:
+            suffix = " NOT NULL"
+        return f"{self.name} {type_text}{suffix}"
+
+
+@dataclass(frozen=True)
+class CreateTableStmt(Statement):
+    table: str
+    columns: tuple[ColumnDef, ...]
+
+    def to_sql(self) -> str:
+        cols = ", ".join(c.to_sql() for c in self.columns)
+        return f"CREATE TABLE {self.table} ({cols})"
+
+
+@dataclass(frozen=True)
+class CreateIndexStmt(Statement):
+    name: str
+    table: str
+    column: str
+    unique: bool = False
+    kind: str = "btree"
+
+    def to_sql(self) -> str:
+        unique = "UNIQUE " if self.unique else ""
+        using = f" USING {self.kind.upper()}" if self.kind != "btree" else ""
+        return f"CREATE {unique}INDEX {self.name} ON {self.table} ({self.column}){using}"
+
+
+@dataclass(frozen=True)
+class DropTableStmt(Statement):
+    table: str
+
+    def to_sql(self) -> str:
+        return f"DROP TABLE {self.table}"
+
+
+@dataclass(frozen=True)
+class TruncateStmt(Statement):
+    table: str
+
+    def to_sql(self) -> str:
+        return f"TRUNCATE TABLE {self.table}"
+
+
+@dataclass(frozen=True)
+class BeginStmt(Statement):
+    def to_sql(self) -> str:
+        return "BEGIN"
+
+
+@dataclass(frozen=True)
+class CommitStmt(Statement):
+    def to_sql(self) -> str:
+        return "COMMIT"
+
+
+@dataclass(frozen=True)
+class RollbackStmt(Statement):
+    def to_sql(self) -> str:
+        return "ROLLBACK"
+
+
+#: Statements that change data (the ones Op-Delta capture cares about).
+DML_STATEMENTS = (InsertStmt, UpdateStmt, DeleteStmt)
+
+
+def is_dml(statement: Statement) -> bool:
+    return isinstance(statement, DML_STATEMENTS)

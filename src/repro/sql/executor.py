@@ -1,0 +1,464 @@
+"""Planner and executor.
+
+The planner implements exactly the access-path behaviour the paper leans on
+in §3.1.1: an equality predicate on an indexed column uses the index; a
+range predicate uses a B-tree index only when the optimizer's statistics
+say the range is selective (default threshold 5% of the table), otherwise
+it falls back to a full table scan — "indices may not be used by the query
+optimizer if the deltas form a significant portion of the table".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator
+
+from ..engine.database import Database
+from ..engine.rows import RowId
+from ..engine.schema import Column, TableSchema
+from ..engine.table import InsertMode, Table
+from ..engine.transactions import Transaction
+from ..engine.types import type_from_sql
+from ..errors import SqlAnalysisError
+from . import ast_nodes as ast
+from .expressions import evaluate, is_true, split_conjuncts
+
+#: Ranges matching more than this fraction of the table fall back to a scan.
+INDEX_SELECTIVITY_THRESHOLD = 0.05
+
+_RANGE_OPS = {"<": ("high", False), "<=": ("high", True),
+              ">": ("low", False), ">=": ("low", True)}
+
+
+@dataclass
+class Result:
+    """Outcome of one statement."""
+
+    columns: list[str] = field(default_factory=list)
+    rows: list[tuple[Any, ...]] = field(default_factory=list)
+    rows_affected: int = 0
+    plan: str = ""
+
+    def scalar(self) -> Any:
+        """The single value of a one-row, one-column result."""
+        if len(self.rows) != 1 or len(self.columns) != 1:
+            raise SqlAnalysisError(
+                f"scalar() needs a 1x1 result, got {len(self.rows)}x{len(self.columns)}"
+            )
+        return self.rows[0][0]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+@dataclass
+class _AccessPath:
+    """How the planner decided to read a table."""
+
+    description: str
+    row_ids: Iterable[RowId] | None  # None means full scan
+
+
+class Executor:
+    """Executes parsed statements against one :class:`Database`."""
+
+    def __init__(self, database: Database) -> None:
+        self._db = database
+
+    # ------------------------------------------------------------------ entry
+    def execute(self, statement: ast.Statement, txn: Transaction) -> Result:
+        if isinstance(statement, ast.SelectStmt):
+            return self._select(statement)
+        if isinstance(statement, ast.InsertStmt):
+            return self._insert(statement, txn)
+        if isinstance(statement, ast.UpdateStmt):
+            return self._update(statement, txn)
+        if isinstance(statement, ast.DeleteStmt):
+            return self._delete(statement, txn)
+        if isinstance(statement, ast.CreateTableStmt):
+            return self._create_table(statement)
+        if isinstance(statement, ast.CreateIndexStmt):
+            return self._create_index(statement)
+        if isinstance(statement, ast.DropTableStmt):
+            self._db.drop_table(statement.table)
+            return Result(plan="drop")
+        if isinstance(statement, ast.TruncateStmt):
+            removed = self._db.table(statement.table).truncate()
+            return Result(rows_affected=removed, plan="truncate")
+        raise SqlAnalysisError(
+            f"executor cannot handle {type(statement).__name__} "
+            "(transaction-control statements are handled by the session)"
+        )
+
+    # ----------------------------------------------------------------- SELECT
+    def _select(self, stmt: ast.SelectStmt) -> Result:
+        if stmt.table is None:
+            # Constant SELECT (e.g. SELECT 1 + 1): evaluate against empty env.
+            row = tuple(evaluate(item.expr, {}) for item in stmt.items)
+            columns = [self._item_name(item) for item in stmt.items]
+            return Result(columns=columns, rows=[row], plan="const")
+
+        base = self._db.table(stmt.table)
+        base_alias = stmt.alias or stmt.table
+        path = self._choose_path(base, base_alias, stmt.where)
+        envs = self._table_rows(base, base_alias, path)
+        plan_parts = [f"{stmt.table}:{path.description}"]
+
+        for join in stmt.joins:
+            right = self._db.table(join.table)
+            right_alias = join.alias or join.table
+            envs = self._hash_join(envs, base_alias, right, right_alias, join)
+            plan_parts.append(f"join({join.table}:hash)")
+
+        if stmt.where is not None:
+            envs = (env for env in envs if is_true(evaluate(stmt.where, env)))
+
+        aggregated = any(
+            isinstance(item.expr, ast.Aggregate) for item in stmt.items
+        ) or bool(stmt.group_by)
+        if aggregated:
+            rows, columns = self._aggregate(stmt, envs)
+        else:
+            rows, columns = self._project(stmt, envs, base, base_alias)
+
+        if stmt.order_by:
+            rows = self._order(rows, columns, stmt)
+        if stmt.limit is not None:
+            rows = rows[: stmt.limit]
+        return Result(columns=columns, rows=rows, plan=" ".join(plan_parts))
+
+    def _choose_path(
+        self, table: Table, alias: str, where: ast.Expression | None
+    ) -> _AccessPath:
+        """Pick index lookup, index range scan, or full scan."""
+        for conjunct in split_conjuncts(where):
+            simple = self._simple_comparison(conjunct, table, alias)
+            if simple is None:
+                continue
+            column, op, value = simple
+            index = table.index_on(column)
+            if index is None:
+                continue
+            if op == "=":
+                return _AccessPath(f"index({index.name})", index.lookup(value))
+            if op in _RANGE_OPS and index.supports_range:
+                bound, inclusive = _RANGE_OPS[op]
+                low = value if bound == "low" else None
+                high = value if bound == "high" else None
+                matching = index.estimate_range(
+                    low, high,
+                    include_low=inclusive if bound == "low" else True,
+                    include_high=inclusive if bound == "high" else True,
+                )
+                total = max(1, table.num_rows)
+                if matching / total <= INDEX_SELECTIVITY_THRESHOLD:
+                    row_ids = index.range_scan(
+                        low, high,
+                        include_low=inclusive if bound == "low" else True,
+                        include_high=inclusive if bound == "high" else True,
+                    )
+                    return _AccessPath(f"index-range({index.name})", row_ids)
+        return _AccessPath("scan", None)
+
+    def _simple_comparison(
+        self, expr: ast.Expression, table: Table, alias: str
+    ) -> tuple[str, str, Any] | None:
+        """Match ``column OP literal`` (either operand order) on this table."""
+        if not isinstance(expr, ast.BinaryOp):
+            return None
+        if expr.op not in ("=", "<", "<=", ">", ">="):
+            return None
+        flip = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "="}
+        candidates = [
+            (expr.left, expr.op, expr.right),
+            (expr.right, flip[expr.op], expr.left),
+        ]
+        for column_side, op, value_side in candidates:
+            if not isinstance(column_side, ast.ColumnRef):
+                continue
+            if column_side.table not in (None, alias, table.name):
+                continue
+            if not isinstance(value_side, ast.Literal):
+                continue
+            if not table.schema.has_column(column_side.name):
+                continue
+            return column_side.name, op, value_side.value
+        return None
+
+    def _table_rows(
+        self, table: Table, alias: str, path: _AccessPath
+    ) -> Iterator[dict[str, Any]]:
+        if path.row_ids is None:
+            for _row_id, values in table.scan():
+                yield self._env(table.schema, alias, values)
+        else:
+            for row_id in path.row_ids:
+                values = table.read(row_id)
+                yield self._env(table.schema, alias, values)
+
+    @staticmethod
+    def _env(
+        schema: TableSchema, alias: str, values: tuple[Any, ...]
+    ) -> dict[str, Any]:
+        env: dict[str, Any] = {}
+        for name, value in zip(schema.column_names, values):
+            env[name] = value
+            env[f"{alias}.{name}"] = value
+        env[f"__row__{alias}"] = values
+        return env
+
+    def _hash_join(
+        self,
+        left_envs: Iterable[dict[str, Any]],
+        base_alias: str,
+        right: Table,
+        right_alias: str,
+        join: ast.Join,
+    ) -> Iterator[dict[str, Any]]:
+        left_key, right_key = self._join_sides(join, right_alias)
+        build: dict[Any, list[tuple[Any, ...]]] = {}
+        key_position = right.schema.column_index(right_key.name)
+        for _row_id, values in right.scan():
+            build.setdefault(values[key_position], []).append(values)
+        probe_cpu = self._db.costs.row_scan_cpu
+        clock = self._db.clock
+        for env in left_envs:
+            clock.advance(probe_cpu)
+            key = evaluate(left_key, env)
+            for values in build.get(key, ()):
+                merged = dict(env)
+                merged.update(self._env(right.schema, right_alias, values))
+                yield merged
+
+    @staticmethod
+    def _join_sides(join: ast.Join, right_alias: str) -> tuple[ast.ColumnRef, ast.ColumnRef]:
+        """Split the ON equality into (probe-side ref, build-side ref)."""
+        left, right = join.left, join.right
+        if left.table == right_alias and right.table != right_alias:
+            left, right = right, left
+        if right.table not in (None, right_alias):
+            raise SqlAnalysisError(
+                f"join condition must reference the joined table {right_alias!r}"
+            )
+        return left, right
+
+    def _project(
+        self,
+        stmt: ast.SelectStmt,
+        envs: Iterable[dict[str, Any]],
+        base: Table,
+        base_alias: str,
+    ) -> tuple[list[tuple[Any, ...]], list[str]]:
+        star_aliases = [base_alias] + [j.alias or j.table for j in stmt.joins]
+        star_schemas = [base.schema] + [self._db.table(j.table).schema for j in stmt.joins]
+        columns: list[str] = []
+        for item in stmt.items:
+            if isinstance(item.expr, ast.Star):
+                for schema in star_schemas:
+                    columns.extend(schema.column_names)
+            else:
+                columns.append(self._item_name(item))
+        rows = []
+        for env in envs:
+            out: list[Any] = []
+            for item in stmt.items:
+                if isinstance(item.expr, ast.Star):
+                    for alias in star_aliases:
+                        out.extend(env[f"__row__{alias}"])
+                else:
+                    out.append(evaluate(item.expr, env))
+            rows.append(tuple(out))
+        return rows, columns
+
+    def _aggregate(
+        self, stmt: ast.SelectStmt, envs: Iterable[dict[str, Any]]
+    ) -> tuple[list[tuple[Any, ...]], list[str]]:
+        for item in stmt.items:
+            if not isinstance(item.expr, (ast.Aggregate, ast.ColumnRef)):
+                raise SqlAnalysisError(
+                    "aggregate queries may only select aggregates and "
+                    "grouping columns"
+                )
+            if isinstance(item.expr, ast.ColumnRef) and item.expr not in stmt.group_by:
+                grouped_names = {ref.name for ref in stmt.group_by}
+                if item.expr.name not in grouped_names:
+                    raise SqlAnalysisError(
+                        f"column {item.expr.name!r} must appear in GROUP BY"
+                    )
+        groups: dict[tuple, list[dict[str, Any]]] = {}
+        for env in envs:
+            key = tuple(evaluate(ref, env) for ref in stmt.group_by)
+            groups.setdefault(key, []).append(env)
+        if not stmt.group_by and not groups:
+            groups[()] = []  # global aggregate over an empty input
+        columns = [self._item_name(item) for item in stmt.items]
+        rows = []
+        for key, members in groups.items():
+            out: list[Any] = []
+            for item in stmt.items:
+                if isinstance(item.expr, ast.Aggregate):
+                    out.append(self._aggregate_value(item.expr, members))
+                else:
+                    position = [ref.name for ref in stmt.group_by].index(
+                        item.expr.name  # type: ignore[union-attr]
+                    )
+                    out.append(key[position])
+            rows.append(tuple(out))
+        return rows, columns
+
+    @staticmethod
+    def _aggregate_value(agg: ast.Aggregate, members: list[dict[str, Any]]) -> Any:
+        if agg.argument is None:
+            return len(members)
+        values = [
+            evaluate(agg.argument, env)
+            for env in members
+        ]
+        values = [v for v in values if v is not None]
+        if agg.function == "COUNT":
+            return len(values)
+        if not values:
+            return None
+        if agg.function == "SUM":
+            return sum(values)
+        if agg.function == "AVG":
+            return sum(values) / len(values)
+        if agg.function == "MIN":
+            return min(values)
+        if agg.function == "MAX":
+            return max(values)
+        raise SqlAnalysisError(f"unknown aggregate {agg.function!r}")
+
+    def _order(
+        self,
+        rows: list[tuple[Any, ...]],
+        columns: list[str],
+        stmt: ast.SelectStmt,
+    ) -> list[tuple[Any, ...]]:
+        self._db.clock.advance(self._db.costs.row_scan_cpu * len(rows))
+        for order in reversed(stmt.order_by):
+            position = self._order_position(order.expr, columns)
+            rows.sort(
+                key=lambda row: (row[position] is None, row[position]),
+                reverse=not order.ascending,
+            )
+        return rows
+
+    @staticmethod
+    def _order_position(expr: ast.Expression, columns: list[str]) -> int:
+        if isinstance(expr, ast.ColumnRef):
+            name = expr.name
+            if name in columns:
+                return columns.index(name)
+        rendered = expr.to_sql()
+        if rendered in columns:
+            return columns.index(rendered)
+        raise SqlAnalysisError(
+            f"ORDER BY expression {rendered!r} is not in the select list"
+        )
+
+    @staticmethod
+    def _item_name(item: ast.SelectItem) -> str:
+        if item.alias:
+            return item.alias
+        if isinstance(item.expr, ast.ColumnRef):
+            return item.expr.name
+        return item.expr.to_sql()
+
+    # -------------------------------------------------------------------- DML
+    def _insert(self, stmt: ast.InsertStmt, txn: Transaction) -> Result:
+        table = self._db.table(stmt.table)
+        if stmt.select is not None:
+            selected = self._select(stmt.select)
+            count = 0
+            for row in selected.rows:
+                values = self._arrange(table.schema, stmt.columns, row)
+                table.insert(txn, values, mode=InsertMode.BULK_INTERNAL)
+                count += 1
+            return Result(rows_affected=count, plan="insert-select")
+        mode = InsertMode.BULK_CLIENT if len(stmt.rows) > 1 else InsertMode.STATEMENT
+        count = 0
+        for expr_row in stmt.rows:
+            literal_row = tuple(evaluate(expr, {}) for expr in expr_row)
+            values = self._arrange(table.schema, stmt.columns, literal_row)
+            table.insert(txn, values, mode=mode)
+            count += 1
+        return Result(rows_affected=count, plan="insert")
+
+    @staticmethod
+    def _arrange(
+        schema: TableSchema, columns: tuple[str, ...] | None, row: tuple[Any, ...]
+    ) -> tuple[Any, ...]:
+        if columns is None:
+            return row
+        if len(columns) != len(row):
+            raise SqlAnalysisError(
+                f"INSERT names {len(columns)} columns but supplies {len(row)} values"
+            )
+        return schema.values_from_mapping(dict(zip(columns, row)))
+
+    def _update(self, stmt: ast.UpdateStmt, txn: Transaction) -> Result:
+        table = self._db.table(stmt.table)
+        alias = stmt.table
+        path = self._choose_path(table, alias, stmt.where)
+        matches: list[tuple[RowId, dict[str, Any]]] = []
+        if path.row_ids is None:
+            for row_id, values in table.scan():
+                env = self._env(table.schema, alias, values)
+                if stmt.where is None or is_true(evaluate(stmt.where, env)):
+                    matches.append((row_id, env))
+        else:
+            for row_id in path.row_ids:
+                values = table.read(row_id)
+                env = self._env(table.schema, alias, values)
+                if stmt.where is None or is_true(evaluate(stmt.where, env)):
+                    matches.append((row_id, env))
+        for row_id, env in matches:
+            assignments = {
+                a.column: evaluate(a.expr, env) for a in stmt.assignments
+            }
+            table.update(txn, row_id, assignments)
+        return Result(rows_affected=len(matches), plan=f"update:{path.description}")
+
+    def _delete(self, stmt: ast.DeleteStmt, txn: Transaction) -> Result:
+        table = self._db.table(stmt.table)
+        alias = stmt.table
+        path = self._choose_path(table, alias, stmt.where)
+        matches: list[RowId] = []
+        if path.row_ids is None:
+            for row_id, values in table.scan():
+                env = self._env(table.schema, alias, values)
+                if stmt.where is None or is_true(evaluate(stmt.where, env)):
+                    matches.append(row_id)
+        else:
+            for row_id in path.row_ids:
+                values = table.read(row_id)
+                env = self._env(table.schema, alias, values)
+                if stmt.where is None or is_true(evaluate(stmt.where, env)):
+                    matches.append(row_id)
+        for row_id in matches:
+            table.delete(txn, row_id)
+        return Result(rows_affected=len(matches), plan=f"delete:{path.description}")
+
+    # -------------------------------------------------------------------- DDL
+    def _create_table(self, stmt: ast.CreateTableStmt) -> Result:
+        columns = []
+        primary_key = None
+        for definition in stmt.columns:
+            datatype = type_from_sql(definition.type_name, definition.type_arg)
+            nullable = not (definition.not_null or definition.primary_key)
+            columns.append(Column(definition.name, datatype, nullable))
+            if definition.primary_key:
+                if primary_key is not None:
+                    raise SqlAnalysisError(
+                        f"table {stmt.table!r} declares multiple primary keys"
+                    )
+                primary_key = definition.name
+        schema = TableSchema(stmt.table, columns, primary_key=primary_key)
+        self._db.create_table(schema)
+        return Result(plan="create-table")
+
+    def _create_index(self, stmt: ast.CreateIndexStmt) -> Result:
+        table = self._db.table(stmt.table)
+        table.create_index(stmt.name, stmt.column, unique=stmt.unique, kind=stmt.kind)
+        return Result(plan="create-index")

@@ -1,0 +1,56 @@
+"""Network cost model for delta transport.
+
+Moving deltas from the sources to the warehouse (or a staging area) costs
+latency plus payload time on the paper's 10 Mb/s switched LAN.  The model
+charges the shared virtual clock, so transport composes with extraction and
+integration into end-to-end timings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..clock import VirtualClock
+from ..engine.costs import DEFAULT_COST_MODEL, CostModel
+
+
+@dataclass
+class TransferRecord:
+    """One completed transfer."""
+
+    description: str
+    payload_bytes: int
+    elapsed_ms: float
+
+
+class NetworkModel:
+    """Charges round trips and payload transfer times."""
+
+    def __init__(
+        self, clock: VirtualClock, costs: CostModel = DEFAULT_COST_MODEL
+    ) -> None:
+        self._clock = clock
+        self._costs = costs
+        self.transfers: list[TransferRecord] = []
+
+    @property
+    def bytes_moved(self) -> int:
+        return sum(t.payload_bytes for t in self.transfers)
+
+    def transfer(self, payload_bytes: int, description: str = "transfer") -> float:
+        """Ship a payload; returns the elapsed virtual milliseconds."""
+        if payload_bytes < 0:
+            raise ValueError(f"payload cannot be negative: {payload_bytes}")
+        with self._clock.stopwatch() as watch:
+            self._clock.advance(
+                self._costs.lan_round_trip
+                + self._costs.network_transfer(payload_bytes)
+            )
+        record = TransferRecord(description, payload_bytes, watch.elapsed)
+        self.transfers.append(record)
+        return record.elapsed_ms
+
+    def round_trip(self) -> float:
+        """One control-message round trip (acknowledgements etc.)."""
+        self._clock.advance(self._costs.lan_round_trip)
+        return self._costs.lan_round_trip

@@ -1,0 +1,62 @@
+"""Shipping delta artifacts to the warehouse / staging area.
+
+Wraps the network model with knowledge of the artifact kinds the
+extraction layer produces (ASCII files, Export dumps, log segments,
+Op-Delta transaction groups) so end-to-end experiments can move them with
+one call and the right payload sizes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..core.opdelta import OpDeltaTransaction
+from ..engine.snapshots import Snapshot
+from ..engine.utilities import AsciiFile, ExportDump
+from ..engine.wal import LogSegment
+from ..extraction.deltas import DeltaBatch
+from .network import NetworkModel
+from .queue import PersistentQueue
+
+
+class FileShipper:
+    """Moves extraction artifacts across the LAN."""
+
+    def __init__(self, network: NetworkModel) -> None:
+        self._network = network
+
+    def ship_ascii(self, file: AsciiFile) -> float:
+        return self._network.transfer(file.size_bytes, f"ascii:{file.schema.name}")
+
+    def ship_export(self, dump: ExportDump) -> float:
+        return self._network.transfer(dump.size_bytes, f"export:{dump.schema.name}")
+
+    def ship_snapshot(self, snapshot: Snapshot) -> float:
+        return self._network.transfer(
+            snapshot.size_bytes, f"snapshot:{snapshot.table_name}"
+        )
+
+    def ship_value_deltas(self, batch: DeltaBatch) -> float:
+        return self._network.transfer(batch.size_bytes, f"value-delta:{batch.table}")
+
+    def ship_log_segments(self, segments: Iterable[LogSegment]) -> float:
+        payload = sum(
+            record.payload_bytes for segment in segments for record in segment.records
+        )
+        return self._network.transfer(payload, "log-segments")
+
+    def ship_op_deltas(self, groups: Iterable[OpDeltaTransaction]) -> float:
+        payload = sum(group.size_bytes for group in groups)
+        return self._network.transfer(payload, "op-deltas")
+
+
+def enqueue_op_deltas(
+    queue: PersistentQueue[OpDeltaTransaction],
+    groups: Iterable[OpDeltaTransaction],
+) -> int:
+    """Feed Op-Delta groups into a persistent queue (one message per txn)."""
+    count = 0
+    for group in groups:
+        queue.enqueue(group, group.size_bytes)
+        count += 1
+    return count

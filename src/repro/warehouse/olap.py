@@ -1,0 +1,77 @@
+"""OLAP query workload for the warehouse availability experiments.
+
+A small set of decision-support queries over the mirrored fact table —
+aggregates, group-bys, selective filters, and (when a dimension mirror
+exists) a join.  The scheduler uses their measured virtual costs as the
+query service times in the availability simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..engine.database import Database
+from ..engine.session import Session
+from ..errors import WarehouseError
+
+
+@dataclass(frozen=True)
+class OlapQuery:
+    name: str
+    sql: str
+
+
+def standard_queries(
+    fact_table: str,
+    measure_column: str,
+    group_column: str,
+    filter_column: str,
+    filter_value: str,
+    dimension_table: str | None = None,
+    dimension_key: str | None = None,
+    fact_foreign_key: str | None = None,
+) -> list[OlapQuery]:
+    """The canned DSS query mix used by the availability benchmarks."""
+    queries = [
+        OlapQuery(
+            "total_measure",
+            f"SELECT COUNT(*), SUM({measure_column}) FROM {fact_table}",
+        ),
+        OlapQuery(
+            "by_group",
+            f"SELECT {group_column}, COUNT(*), AVG({measure_column}) "
+            f"FROM {fact_table} GROUP BY {group_column}",
+        ),
+        OlapQuery(
+            "filtered",
+            f"SELECT COUNT(*) FROM {fact_table} "
+            f"WHERE {filter_column} = '{filter_value}'",
+        ),
+    ]
+    if dimension_table is not None:
+        if dimension_key is None or fact_foreign_key is None:
+            raise WarehouseError(
+                "a dimension query needs both dimension_key and fact_foreign_key"
+            )
+        queries.append(
+            OlapQuery(
+                "dimension_join",
+                f"SELECT COUNT(*) FROM {fact_table} f JOIN {dimension_table} d "
+                f"ON f.{fact_foreign_key} = d.{dimension_key}",
+            )
+        )
+    return queries
+
+
+def measure_query_cost(database: Database, session: Session, query: OlapQuery) -> float:
+    """Run one query and return its virtual cost in milliseconds."""
+    with database.clock.stopwatch() as watch:
+        session.execute(query.sql)
+    return watch.elapsed
+
+
+def measure_mix_cost(
+    database: Database, session: Session, queries: list[OlapQuery]
+) -> dict[str, float]:
+    """Measure the whole mix; returns name -> virtual milliseconds."""
+    return {q.name: measure_query_cost(database, session, q) for q in queries}

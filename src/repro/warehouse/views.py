@@ -1,0 +1,298 @@
+"""Materialized SPJ views with two maintenance paths (paper §4.1, ref [8]).
+
+A :class:`MaterializedView` stores a select-project(-join) view of one
+source table inside the warehouse database and can be maintained either
+
+* from **Op-Deltas** (:meth:`MaterializedView.apply_operation`) — using the
+  self-maintainability analysis: operations that are maintainable alone are
+  rewritten onto the view; operations that are not use the hybrid before
+  image; or
+* from **value deltas** (:meth:`MaterializedView.apply_value_delta`) — the
+  classic per-row image path.
+
+Both paths must produce the same state as recomputing the view from the
+base table — the equivalence the property tests check.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+from ..core.opdelta import OpDelta, OpKind
+from ..core.selfmaint import Maintainability, ViewDefinition, classify_operation
+from ..engine.database import Database
+from ..engine.schema import TableSchema
+from ..engine.table import InsertMode, Table
+from ..engine.transactions import Transaction
+from ..errors import WarehouseError
+from ..sql import ast_nodes as ast
+from ..sql.executor import Executor
+from ..sql.expressions import evaluate, is_true
+
+
+class MaterializedView:
+    """One materialized view inside the warehouse database."""
+
+    def __init__(
+        self,
+        warehouse_db: Database,
+        definition: ViewDefinition,
+        base_schema: TableSchema,
+    ) -> None:
+        if definition.base_table != base_schema.name:
+            raise WarehouseError(
+                f"view {definition.name!r} is over {definition.base_table!r} "
+                f"but was given the schema of {base_schema.name!r}"
+            )
+        unknown = set(definition.columns) - set(base_schema.column_names)
+        if unknown:
+            raise WarehouseError(
+                f"view {definition.name!r} projects unknown columns: {sorted(unknown)}"
+            )
+        self._db = warehouse_db
+        self._executor = Executor(warehouse_db)
+        self.definition = definition
+        self.base_schema = base_schema
+        self._base_columns = base_schema.column_names
+        self._predicate = definition.predicate_ast()
+        self._key = definition.key_column
+        if self._key is not None and self._key not in base_schema.column_names:
+            raise WarehouseError(
+                f"view key {self._key!r} is not a column of {base_schema.name!r}"
+            )
+
+        columns = [base_schema.column(name) for name in definition.columns]
+        join = definition.join
+        if join is not None:
+            if not warehouse_db.has_table(join.table):
+                raise WarehouseError(
+                    f"view {definition.name!r} joins {join.table!r}, which is "
+                    "not mirrored at the warehouse"
+                )
+            dim_schema = warehouse_db.table(join.table).schema
+            for name in join.columns:
+                columns.append(dim_schema.column(name))
+        storage_key = (
+            self._key if self._key in definition.columns else None
+        )
+        storage_schema = TableSchema(
+            definition.name, columns, primary_key=storage_key
+        )
+        self.table: Table = warehouse_db.create_table(storage_schema)
+
+    # ------------------------------------------------------------------ state
+    def rows(self) -> list[tuple[Any, ...]]:
+        return sorted(values for _rid, values in self.table.scan())
+
+    def initialize(self, base_rows: Iterable[tuple[Any, ...]], txn: Transaction) -> int:
+        """Populate the view from a full base-table extract."""
+        count = 0
+        for row in base_rows:
+            projected = self._qualify_and_project(row)
+            if projected is not None:
+                self.table.insert(txn, projected, mode=InsertMode.BULK_INTERNAL)
+                count += 1
+        return count
+
+    def recompute(self, base_rows: Iterable[tuple[Any, ...]]) -> list[tuple[Any, ...]]:
+        """Pure recomputation (no storage, no costs) — the testing oracle."""
+        result = []
+        for row in base_rows:
+            projected = self._qualify_and_project(row)
+            if projected is not None:
+                result.append(projected)
+        return sorted(result)
+
+    # -------------------------------------------------------- op-delta path
+    def apply_operation(self, op: OpDelta, txn: Transaction) -> Maintainability:
+        """Maintain the view from one Op-Delta; returns the path taken."""
+        if op.table != self.definition.base_table:
+            return Maintainability.OP_ONLY  # not our base table: no-op
+        level = classify_operation(self.definition, op)
+        if level is Maintainability.NOT_SELF_MAINTAINABLE:
+            raise WarehouseError(
+                f"view {self.definition.name!r} cannot be maintained from "
+                f"this {op.kind.value} without querying the sources"
+            )
+        if op.kind is OpKind.INSERT:
+            self._apply_insert_op(op, txn)
+        elif level is Maintainability.OP_ONLY:
+            self._apply_rewritten(op, txn)
+        else:
+            self._apply_with_before_image(op, txn)
+        return level
+
+    def _apply_insert_op(self, op: OpDelta, txn: Transaction) -> None:
+        stmt = op.statement
+        assert isinstance(stmt, ast.InsertStmt)
+        for expr_row in stmt.rows:
+            values = tuple(evaluate(expr, {}) for expr in expr_row)
+            if stmt.columns is not None:
+                mapping = dict(zip(stmt.columns, values))
+                row = tuple(mapping.get(name) for name in self._base_columns)
+            else:
+                if len(values) != len(self._base_columns):
+                    raise WarehouseError(
+                        f"INSERT row width {len(values)} does not match base "
+                        f"table {self.base_schema.name!r}"
+                    )
+                row = values
+            projected = self._qualify_and_project(row)
+            if projected is not None:
+                self.table.insert(txn, projected)
+
+    def _apply_rewritten(self, op: OpDelta, txn: Transaction) -> None:
+        """Execute the operation directly against the view storage table.
+
+        Valid only on the OP_ONLY path: every referenced column is
+        projected, and membership cannot change.
+        """
+        stmt = op.statement
+        if isinstance(stmt, ast.UpdateStmt):
+            rewritten: ast.Statement = ast.UpdateStmt(
+                self.definition.name, stmt.assignments, self._narrow(stmt.where)
+            )
+        elif isinstance(stmt, ast.DeleteStmt):
+            rewritten = ast.DeleteStmt(self.definition.name, self._narrow(stmt.where))
+        else:  # pragma: no cover - inserts take _apply_insert_op
+            raise WarehouseError("unexpected statement kind on the rewrite path")
+        self._executor.execute(rewritten, txn)
+
+    def _narrow(self, where: ast.Expression | None) -> ast.Expression | None:
+        """Conjoin the view's selection predicate with the operation's WHERE.
+
+        The operation's predicate may match base rows outside the view; the
+        view predicate keeps the rewrite from touching rows that were never
+        materialised (all referenced columns are projected on this path).
+        """
+        if self._predicate is None:
+            return where
+        if where is None:
+            return self._predicate
+        return ast.BinaryOp("AND", self._predicate, where)
+
+    def _apply_with_before_image(self, op: OpDelta, txn: Transaction) -> None:
+        if op.before_image is None:
+            raise WarehouseError(
+                f"view {self.definition.name!r} needs before images for this "
+                f"{op.kind.value} but the Op-Delta was captured lean "
+                "(configure a hybrid capture policy)"
+            )
+        if op.kind is OpKind.DELETE:
+            for before in op.before_image:
+                if self._qualifies(before):
+                    self._delete_by_key(before, txn)
+            return
+        assert op.kind is OpKind.UPDATE
+        stmt = op.statement
+        assert isinstance(stmt, ast.UpdateStmt)
+        for before in op.before_image:
+            env = dict(zip(self._base_columns, before))
+            after_map = dict(env)
+            for assignment in stmt.assignments:
+                after_map[assignment.column] = evaluate(assignment.expr, env)
+            after = tuple(after_map[name] for name in self._base_columns)
+            was_in = self._qualifies(before)
+            now_in = self._qualifies(after)
+            if was_in:
+                self._delete_by_key(before, txn)
+            if now_in:
+                projected = self._project(after)
+                self.table.insert(txn, projected)
+
+    # ------------------------------------------------------ value-delta path
+    def apply_value_delta(self, records, txn: Transaction) -> None:
+        """Maintain the view from row-image deltas (the classic path)."""
+        for record in records:
+            kind = record.kind.name
+            if kind == "INSERT":
+                projected = self._qualify_and_project(record.after)
+                if projected is not None:
+                    self.table.insert(txn, projected)
+            elif kind == "DELETE":
+                if self._qualifies(record.before):
+                    self._delete_by_key(record.before, txn)
+            elif kind == "UPDATE":
+                if self._qualifies(record.before):
+                    self._delete_by_key(record.before, txn)
+                projected = self._qualify_and_project(record.after)
+                if projected is not None:
+                    self.table.insert(txn, projected)
+            else:  # UPSERT: provenance unknown — remove any old image, re-add
+                self._delete_by_key_if_present(record.after, txn)
+                projected = self._qualify_and_project(record.after)
+                if projected is not None:
+                    self.table.insert(txn, projected)
+
+    # --------------------------------------------------------------- plumbing
+    def _qualifies(self, row: tuple[Any, ...] | None) -> bool:
+        if row is None:
+            return False
+        if self._predicate is None:
+            return True
+        env = dict(zip(self._base_columns, row))
+        return is_true(evaluate(self._predicate, env))
+
+    def _project(self, row: tuple[Any, ...]) -> tuple[Any, ...]:
+        env: Mapping[str, Any] = dict(zip(self._base_columns, row))
+        projected = [env[name] for name in self.definition.columns]
+        join = self.definition.join
+        if join is not None:
+            dim_values = self._dim_lookup(env[join.left_column])
+            for name in join.columns:
+                dim_schema = self._db.table(join.table).schema
+                projected.append(
+                    dim_values[dim_schema.column_index(name)]
+                    if dim_values is not None
+                    else None
+                )
+        return tuple(projected)
+
+    def _qualify_and_project(self, row: tuple[Any, ...] | None):
+        if row is None or not self._qualifies(row):
+            return None
+        return self._project(row)
+
+    def _dim_lookup(self, key: Any) -> tuple[Any, ...] | None:
+        join = self.definition.join
+        assert join is not None
+        dim = self._db.table(join.table)
+        index = dim.index_on(join.right_column)
+        if index is not None:
+            matches = index.lookup(key)
+            return dim.read(matches[0]) if matches else None
+        position = dim.schema.column_index(join.right_column)
+        for _rid, values in dim.scan():
+            if values[position] == key:
+                return values
+        return None
+
+    def _delete_by_key(self, base_row: tuple[Any, ...], txn: Transaction) -> None:
+        if not self._delete_by_key_if_present(base_row, txn):
+            raise WarehouseError(
+                f"view {self.definition.name!r}: expected a materialised row "
+                "to delete but found none (view state diverged)"
+            )
+
+    def _delete_by_key_if_present(
+        self, base_row: tuple[Any, ...], txn: Transaction
+    ) -> bool:
+        if self._key is None or self._key not in self.definition.columns:
+            raise WarehouseError(
+                f"view {self.definition.name!r} does not project its key; "
+                "image-based maintenance cannot locate rows"
+            )
+        key_value = base_row[self.base_schema.column_index(self._key)]
+        index = self.table.index_on(self._key)
+        if index is not None:
+            matches = index.lookup(key_value)
+            if not matches:
+                return False
+            self.table.delete(txn, matches[0])
+            return True
+        position = self.table.schema.column_index(self._key)
+        for row_id, values in self.table.scan():
+            if values[position] == key_value:
+                self.table.delete(txn, row_id)
+                return True
+        return False

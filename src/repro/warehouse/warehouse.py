@@ -1,0 +1,107 @@
+"""The warehouse: a database instance with mirrors and materialized views.
+
+Convenience facade tying the warehouse pieces together: mirror tables of
+source tables (targets for both integrators), materialized SPJ views, and
+the initial-load path ("Your Warehouse is Empty", the paper's companion
+report [29]) via the ASCII loader.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..clock import VirtualClock
+from ..core.selfmaint import ViewDefinition
+from ..engine.buffer import DEFAULT_POOL_PAGES
+from ..engine.costs import DEFAULT_COST_MODEL, CostModel
+from ..engine.database import Database
+from ..engine.schema import TableSchema
+from ..engine.session import Session
+from ..engine.table import InsertMode
+from ..engine.utilities import AsciiFile, ascii_load
+from ..errors import WarehouseError
+from .views import MaterializedView
+
+
+class Warehouse:
+    """A warehouse database plus its mirrors and views."""
+
+    def __init__(
+        self,
+        name: str = "warehouse",
+        clock: VirtualClock | None = None,
+        costs: CostModel = DEFAULT_COST_MODEL,
+        buffer_pages: int = DEFAULT_POOL_PAGES,
+        product: str = "ReproDB",
+        product_version: str = "1.0",
+    ) -> None:
+        self.database = Database(
+            name, clock=clock, costs=costs, buffer_pages=buffer_pages,
+            product=product, product_version=product_version,
+        )
+        self._views: dict[str, MaterializedView] = {}
+        self._mirrors: dict[str, str] = {}
+
+    @property
+    def clock(self) -> VirtualClock:
+        return self.database.clock
+
+    def connect(self) -> Session:
+        return self.database.connect()
+
+    # ----------------------------------------------------------------- mirrors
+    def create_mirror(
+        self, source_schema: TableSchema, mirror_name: str | None = None
+    ) -> str:
+        """Create an empty mirror of a source table."""
+        name = mirror_name if mirror_name is not None else source_schema.name
+        self.database.create_table(source_schema.renamed(name))
+        self._mirrors[source_schema.name] = name
+        return name
+
+    def mirror_of(self, source_table: str) -> str:
+        try:
+            return self._mirrors[source_table]
+        except KeyError:
+            raise WarehouseError(
+                f"no mirror registered for source table {source_table!r}"
+            ) from None
+
+    @property
+    def mirror_map(self) -> dict[str, str]:
+        return dict(self._mirrors)
+
+    def initial_load(self, mirror_name: str, dump: AsciiFile) -> int:
+        """Load a mirror from a full ASCII extract with the Loader utility."""
+        return ascii_load(self.database, mirror_name, dump)
+
+    def initial_load_rows(self, mirror_name: str, rows: Iterable[Sequence]) -> int:
+        """Load a mirror directly from row tuples (internal bulk path)."""
+        table = self.database.table(mirror_name)
+        txn = self.database.begin()
+        count = 0
+        for row in rows:
+            table.insert(txn, row, mode=InsertMode.BULK_INTERNAL)
+            count += 1
+        self.database.commit(txn)
+        return count
+
+    # ------------------------------------------------------------------- views
+    def define_view(
+        self, definition: ViewDefinition, base_schema: TableSchema
+    ) -> MaterializedView:
+        if definition.name in self._views:
+            raise WarehouseError(f"view {definition.name!r} already defined")
+        view = MaterializedView(self.database, definition, base_schema)
+        self._views[definition.name] = view
+        return view
+
+    def view(self, name: str) -> MaterializedView:
+        try:
+            return self._views[name]
+        except KeyError:
+            raise WarehouseError(f"no view named {name!r}") from None
+
+    @property
+    def views(self) -> list[MaterializedView]:
+        return list(self._views.values())

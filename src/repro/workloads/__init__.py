@@ -1,0 +1,19 @@
+"""Synthetic workloads: PARTS records, sized OLTP transactions, OLAP streams."""
+
+from .oltp import PAPER_TABLE_ROWS, PAPER_TXN_SIZES, OltpWorkload, TxnResult
+from .queries import ScheduledQuery, fixed_cadence_stream, measured_service_times
+from .records import PartsGenerator, parts_schema, strip_timestamp, suppliers_schema
+
+__all__ = [
+    "OltpWorkload",
+    "TxnResult",
+    "PAPER_TXN_SIZES",
+    "PAPER_TABLE_ROWS",
+    "PartsGenerator",
+    "parts_schema",
+    "suppliers_schema",
+    "strip_timestamp",
+    "ScheduledQuery",
+    "fixed_cadence_stream",
+    "measured_service_times",
+]

@@ -1,0 +1,56 @@
+"""OLAP query streams for the availability experiments.
+
+Builds deterministic arrival schedules of decision-support queries against
+the warehouse.  Service times are measured (not assumed) by running each
+distinct query once through the engine.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..engine.database import Database
+from ..engine.session import Session
+from ..warehouse.olap import OlapQuery, measure_query_cost
+
+
+@dataclass(frozen=True)
+class ScheduledQuery:
+    """One query arrival in a stream."""
+
+    arrival_ms: float
+    query: OlapQuery
+
+
+def fixed_cadence_stream(
+    queries: list[OlapQuery],
+    interarrival_ms: float,
+    horizon_ms: float,
+    seed: int = 7,
+) -> list[ScheduledQuery]:
+    """Round-robin-ish stream: one query every ``interarrival_ms``.
+
+    The query picked at each arrival is seeded-random over the mix so the
+    stream is deterministic but not trivially periodic.
+    """
+    rng = random.Random(seed)
+    stream = []
+    arrival = 0.0
+    while arrival <= horizon_ms:
+        stream.append(ScheduledQuery(arrival, rng.choice(queries)))
+        arrival += interarrival_ms
+    return stream
+
+
+def measured_service_times(
+    database: Database, session: Session, queries: list[OlapQuery], repeats: int = 1
+) -> dict[str, float]:
+    """Measure each query's virtual cost (averaged over ``repeats`` runs)."""
+    costs: dict[str, float] = {}
+    for query in queries:
+        total = 0.0
+        for _ in range(max(1, repeats)):
+            total += measure_query_cost(database, session, query)
+        costs[query.name] = total / max(1, repeats)
+    return costs

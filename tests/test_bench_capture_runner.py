@@ -1,0 +1,45 @@
+"""Unit tests for the shared capture-experiment runner."""
+
+from repro.bench.experiments import capture_runner
+
+
+class TestMeasure:
+    def test_all_arms_and_ops_present(self):
+        timings = capture_runner.measure(table_rows=1_500, sizes=(5, 20))
+        assert set(timings.times) == set(capture_runner.ARMS)
+        for arm in capture_runner.ARMS:
+            assert set(timings.times[arm]) == set(capture_runner.OPS)
+            for op in capture_runner.OPS:
+                values = timings.times[arm][op]
+                assert len(values) == 2
+                assert all(v > 0 for v in values)
+
+    def test_memoized_per_parameter_set(self):
+        first = capture_runner.measure(table_rows=1_500, sizes=(5, 20))
+        second = capture_runner.measure(table_rows=1_500, sizes=(5, 20))
+        assert first is second
+        third = capture_runner.measure(table_rows=1_500, sizes=(5, 21))
+        assert third is not first
+
+    def test_overhead_math(self):
+        timings = capture_runner.measure(table_rows=1_500, sizes=(5, 20))
+        base = timings.times["base"]["update"]
+        trig = timings.times["trigger"]["update"]
+        overhead = timings.overhead("trigger", "update")
+        assert overhead[0] == trig[0] / base[0] - 1.0
+
+    def test_instrumented_arms_cost_more_than_base(self):
+        timings = capture_runner.measure(table_rows=1_500, sizes=(5, 20))
+        for arm in ("trigger", "dblog", "filelog"):
+            for op in capture_runner.OPS:
+                assert all(o >= -0.01 for o in timings.overhead(arm, op)), (
+                    arm, op,
+                )
+
+    def test_deterministic_across_processes_shape(self):
+        """Two fresh measurements with equal params are value-identical."""
+        capture_runner._MEMO.clear()
+        first = capture_runner.measure(table_rows=1_200, sizes=(5,))
+        capture_runner._MEMO.clear()
+        second = capture_runner.measure(table_rows=1_200, sizes=(5,))
+        assert first.times == second.times

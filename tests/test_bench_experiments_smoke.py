@@ -1,0 +1,145 @@
+"""Fast structural smoke tests for the experiment modules.
+
+The full-parameter runs live in ``benchmarks/``; here each experiment runs
+at tiny parameters so ``pytest tests/`` verifies the harness end to end in
+seconds.  Shape checks are NOT asserted at these sizes (several shapes only
+emerge at the paper's parameters) — only result structure and internal
+consistency are.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.bench.experiments import (
+    capture_levels,
+    fig2,
+    fig3,
+    freshness,
+    maintenance_window,
+    online_maintenance,
+    remote_trigger,
+    snapshot_algorithms,
+    table1,
+    table2,
+    table3,
+    table4,
+    timestamp_index,
+)
+from repro.bench.report import ExperimentResult, render
+
+
+def structurally_valid(result: ExperimentResult) -> None:
+    assert result.experiment_id and result.title
+    assert result.headers
+    assert result.series
+    for label, values in result.series.items():
+        assert len(values) == len(result.headers), label
+        assert all(
+            isinstance(v, (int, float)) and not math.isnan(v) for v in values
+        ), label
+    assert result.checks
+    # The renderer must handle it without blowing up.
+    assert result.experiment_id in render(result)
+
+
+def test_table1_smoke():
+    structurally_valid(table1.run(scale=4_000))
+
+
+def test_table2_smoke():
+    structurally_valid(table2.run(scale=4_000))
+
+
+def test_table3_smoke():
+    structurally_valid(table3.run(scale=4_000))
+
+
+@pytest.fixture(scope="module")
+def small_capture_results():
+    sizes = (5, 50)
+    return {
+        "fig2": fig2.run(table_rows=3_000, sizes=sizes),
+        "fig3": fig3.run(table_rows=3_000, sizes=sizes),
+        "table4": table4.run(table_rows=3_000, sizes=sizes),
+    }
+
+
+def test_fig2_smoke(small_capture_results):
+    result = small_capture_results["fig2"]
+    assert result.unit == "percent"
+    for label, values in result.series.items():
+        assert len(values) == 2, label
+    assert all(v > 0 for v in result.series["insert_overhead"])
+
+
+def test_fig3_smoke(small_capture_results):
+    result = small_capture_results["fig3"]
+    # avg column appended to the sizes.
+    assert len(result.series["insert_overhead"]) == 3
+
+
+def test_table4_smoke(small_capture_results):
+    result = small_capture_results["table4"]
+    structurally_valid(result)
+    assert all(
+        f <= d * 1.02
+        for f, d in zip(
+            result.series["insert_filelog"], result.series["insert_dblog"]
+        )
+    )
+
+
+def test_maintenance_window_smoke():
+    result = maintenance_window.run(table_rows=3_000, sizes=(5, 50))
+    assert len(result.series["update_window_reduction"]) == 3
+    assert result.checks["warehouses converge to the same logical mirror state"]
+
+
+def test_remote_trigger_smoke():
+    result = remote_trigger.run(table_rows=2_000, sizes=(5, 20))
+    assert all(f > 1 for f in result.series["capture_factor_lan"])
+
+
+def test_online_maintenance_smoke():
+    result = online_maintenance.run(table_rows=2_000, transactions=8, txn_rows=5)
+    batch_sla, online_sla = result.series["queries_within_sla"]
+    assert 0.0 <= batch_sla <= 1.0 and 0.0 <= online_sla <= 1.0
+
+
+def test_snapshot_algorithms_smoke():
+    result = snapshot_algorithms.run(table_rows=600, churn_rows=100)
+    assert all(
+        result.checks[f"{name} delta re-creates the new snapshot"]
+        for name in ("naive", "sort_merge", "window")
+    )
+
+
+def test_timestamp_index_smoke():
+    # At tiny table sizes the scan is cache-cheap, so the index's win is
+    # not guaranteed — only the structure is checked here (the win is a
+    # full-size shape check in benchmarks/).
+    result = timestamp_index.run(source_rows=3_000, fractions=(0.01, 0.5))
+    structurally_valid(result)
+
+
+def test_freshness_smoke():
+    result = freshness.run(
+        table_rows=2_000, txn_rows=10, periods=(10_000.0, 2_000.0),
+        transactions=5,
+    )
+    structurally_valid(result)
+
+
+def test_capture_levels_smoke():
+    result = capture_levels.run(operations=4, op_rows=50)
+    structurally_valid(result)
+
+
+def test_aggregate_views_smoke():
+    from repro.bench.experiments import aggregate_views
+
+    result = aggregate_views.run(table_rows=1_000, fractions=(0.05, 1.0))
+    structurally_valid(result)

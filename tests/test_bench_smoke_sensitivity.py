@@ -1,0 +1,37 @@
+"""Smoke test for the cost-model sensitivity experiment + CostModel API."""
+
+import pytest
+
+from repro.bench.experiments import sensitivity
+from repro.engine.costs import DEFAULT_COST_MODEL, CostModel
+
+
+class TestCostModelApi:
+    def test_scaled_overrides_only_named_fields(self):
+        variant = DEFAULT_COST_MODEL.scaled(stmt_overhead=9.0)
+        assert variant.stmt_overhead == 9.0
+        assert variant.row_insert_cpu == DEFAULT_COST_MODEL.row_insert_cpu
+        # The default is untouched (frozen dataclass + replace).
+        assert DEFAULT_COST_MODEL.stmt_overhead != 9.0
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_COST_MODEL.stmt_overhead = 1.0  # type: ignore[misc]
+
+    def test_helpers(self):
+        costs = CostModel()
+        assert costs.log_append(100) == pytest.approx(
+            costs.log_append_base + 100 * costs.log_append_per_byte
+        )
+        assert costs.file_write(10) == pytest.approx(10 * costs.file_write_per_byte)
+        assert costs.file_read(10) == pytest.approx(10 * costs.file_read_per_byte)
+        assert costs.network_transfer(1000) == pytest.approx(1000 * costs.net_per_byte)
+
+
+def test_sensitivity_smoke():
+    result = sensitivity.run(table_rows=1_000, txn_rows=100)
+    assert len(result.series["update_window_reduction"]) == len(result.headers)
+    # The structural conclusions hold even at tiny sizes.
+    assert result.checks[
+        "op-delta integration window shorter under every perturbation"
+    ]

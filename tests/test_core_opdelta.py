@@ -1,0 +1,183 @@
+"""Tests for Op-Delta records, stores and capture."""
+
+import pytest
+
+from repro.core import (
+    DatabaseLogStore,
+    FileLogStore,
+    OpDeltaCapture,
+    OpKind,
+    classify_statement,
+)
+from repro.core.opdelta import OpDelta
+from repro.engine import Database
+from repro.errors import OpDeltaError
+from repro.sql.parser import parse
+from repro.workloads import OltpWorkload
+
+
+@pytest.fixture
+def source():
+    database = Database("od-test")
+    workload = OltpWorkload(database)
+    workload.create_table()
+    workload.populate(200)
+    return database, workload
+
+
+def attach(source, store_cls):
+    database, workload = source
+    store = store_cls(database)
+    capture = OpDeltaCapture(workload.session, store, tables={"parts"})
+    capture.attach()
+    return store, capture
+
+
+class TestOpDeltaRecord:
+    def test_classify(self):
+        assert classify_statement(parse("INSERT INTO t VALUES (1)")) == (
+            OpKind.INSERT, "t",
+        )
+        assert classify_statement(parse("UPDATE t SET a = 1")) == (OpKind.UPDATE, "t")
+        assert classify_statement(parse("DELETE FROM t")) == (OpKind.DELETE, "t")
+
+    def test_classify_rejects_select(self):
+        with pytest.raises(OpDeltaError):
+            classify_statement(parse("SELECT 1"))
+
+    def test_size_independent_of_affected_rows(self):
+        """The core §4.1 size argument for UPDATE/DELETE."""
+        text = "UPDATE parts SET status = 'revised' WHERE part_ref < 10000"
+        op = OpDelta(text, "parts", OpKind.UPDATE, 1, 1, 0.0)
+        assert op.size_bytes < 128  # ~70-byte statement + header
+
+    def test_hybrid_size_includes_before_image(self):
+        text = "DELETE FROM parts WHERE part_ref < 2"
+        lean = OpDelta(text, "parts", OpKind.DELETE, 1, 1, 0.0)
+        hybrid = OpDelta(
+            text, "parts", OpKind.DELETE, 1, 1, 0.0,
+            before_image=[(1, "a"), (2, "b")],
+        )
+        assert hybrid.is_hybrid and hybrid.size_bytes > lean.size_bytes
+
+    def test_lazy_reparse(self):
+        op = OpDelta("DELETE FROM t WHERE a = 1", "t", OpKind.DELETE, 1, 1, 0.0)
+        assert op.statement.table == "t"
+
+
+class TestCaptureLifecycle:
+    def test_groups_follow_transactions(self, source):
+        database, workload = source
+        store, _capture = attach(source, FileLogStore)
+        session = workload.session
+        session.execute("BEGIN")
+        session.execute("UPDATE parts SET status = 'a' WHERE part_ref < 3")
+        session.execute("DELETE FROM parts WHERE part_ref < 1")
+        session.execute("COMMIT")
+        groups = store.drain()
+        assert len(groups) == 1
+        assert len(groups[0]) == 2
+        assert groups[0].tables() == {"parts"}
+
+    def test_autocommit_one_group_per_statement(self, source):
+        store, _capture = attach(source, FileLogStore)
+        _db, workload = source
+        workload.run_update(2)
+        workload.run_update(2)
+        assert len(store.drain()) == 2
+
+    def test_aborted_txn_produces_no_group(self, source):
+        store, _capture = attach(source, FileLogStore)
+        _db, workload = source
+        session = workload.session
+        session.execute("BEGIN")
+        session.execute("UPDATE parts SET status = 'x' WHERE part_ref < 5")
+        session.execute("ROLLBACK")
+        assert store.drain() == []
+
+    def test_untracked_tables_ignored(self, source):
+        database, workload = source
+        store = FileLogStore(database)
+        capture = OpDeltaCapture(workload.session, store, tables={"other"})
+        capture.attach()
+        workload.run_update(2)
+        assert store.drain() == []
+
+    def test_detach_stops_capturing(self, source):
+        store, capture = attach(source, FileLogStore)
+        _db, workload = source
+        capture.detach()
+        workload.run_update(2)
+        assert store.drain() == []
+
+    def test_double_attach_rejected(self, source):
+        _store, capture = attach(source, FileLogStore)
+        with pytest.raises(OpDeltaError):
+            capture.attach()
+
+    def test_select_not_captured(self, source):
+        store, _capture = attach(source, FileLogStore)
+        _db, workload = source
+        workload.session.execute("SELECT COUNT(*) FROM parts")
+        assert store.drain() == []
+
+
+class TestDatabaseLogStore:
+    def test_rows_roll_back_with_user_txn(self, source):
+        database, workload = source
+        store, _capture = attach(source, DatabaseLogStore)
+        session = workload.session
+        session.execute("BEGIN")
+        session.execute("UPDATE parts SET status = 'x' WHERE part_ref < 5")
+        assert store.persisted_rows > 0
+        session.execute("ROLLBACK")
+        assert store.persisted_rows == 0
+
+    def test_insert_text_chunked(self, source):
+        database, workload = source
+        store, _capture = attach(source, DatabaseLogStore)
+        workload.run_insert(50)
+        # One chunk row per ~100 chars of statement text: a 50-row insert
+        # must need many chunk rows.
+        assert store.persisted_rows > 25
+
+    def test_drain_truncates_log_table(self, source):
+        store, _capture = attach(source, DatabaseLogStore)
+        _db, workload = source
+        workload.run_update(3)
+        groups = store.drain()
+        assert len(groups) == 1
+        assert store.persisted_rows == 0
+
+
+class TestFileLogStore:
+    def test_commit_markers_written(self, source):
+        store, _capture = attach(source, FileLogStore)
+        _db, workload = source
+        workload.run_update(2)
+        assert any(line.endswith("COMMIT") for line in store.file_lines)
+
+    def test_aborted_entries_remain_as_garbage(self, source):
+        """The non-transactionality trade-off of the file log."""
+        store, _capture = attach(source, FileLogStore)
+        _db, workload = source
+        session = workload.session
+        session.execute("BEGIN")
+        session.execute("UPDATE parts SET status = 'x' WHERE part_ref < 5")
+        session.execute("ROLLBACK")
+        assert store.uncommitted_garbage() == 1
+        assert store.drain() == []
+
+    def test_cheaper_than_db_store_for_inserts(self, source):
+        database, _workload = source
+
+        def arm_cost(store_cls):
+            arm_db = Database("arm", clock=database.clock)
+            arm_workload = OltpWorkload(arm_db)
+            arm_workload.create_table()
+            arm_workload.populate(200)
+            store = store_cls(arm_db)
+            OpDeltaCapture(arm_workload.session, store, tables={"parts"}).attach()
+            return arm_workload.run_insert(500).response_ms
+
+        assert arm_cost(FileLogStore) < arm_cost(DatabaseLogStore)

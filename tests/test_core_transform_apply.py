@@ -1,0 +1,184 @@
+"""Tests for statement transformation rules and warehouse application."""
+
+import pytest
+
+from repro.core import (
+    FileLogStore,
+    OpDeltaApplier,
+    OpDeltaCapture,
+    StatementTransformer,
+    TableMapping,
+    identity_mapping,
+)
+from repro.engine import Database
+from repro.errors import OpDeltaError, WarehouseError
+from repro.sql.parser import parse
+from repro.workloads import OltpWorkload, parts_schema, strip_timestamp
+
+
+class TestTransformer:
+    def test_identity_keeps_statement(self):
+        transformer = StatementTransformer()
+        stmt = parse("UPDATE parts SET status = 'x' WHERE part_id = 1")
+        assert transformer.transform(stmt).to_sql() == stmt.to_sql()
+
+    def test_table_rename(self):
+        transformer = StatementTransformer(
+            {"parts": identity_mapping("parts", "dw_parts")}
+        )
+        stmt = transformer.transform(parse("DELETE FROM parts WHERE part_id = 1"))
+        assert stmt.table == "dw_parts"
+
+    def test_column_rename_in_where_and_set(self):
+        mapping = TableMapping(
+            "parts", "dw_parts",
+            column_map={"status": "part_status", "part_id": "pk"},
+        )
+        transformer = StatementTransformer({"parts": mapping})
+        stmt = transformer.transform(
+            parse("UPDATE parts SET status = 'x' WHERE part_id = 1")
+        )
+        rendered = stmt.to_sql()
+        assert "part_status" in rendered and "pk" in rendered
+        assert "status =" not in rendered.replace("part_status", "")
+
+    def test_positional_insert_projected(self):
+        mapping = TableMapping(
+            "parts", "dw_parts",
+            column_map={"part_id": "pk", "status": "part_status"},
+            source_columns=parts_schema().column_names,
+        )
+        transformer = StatementTransformer({"parts": mapping})
+        stmt = transformer.transform(
+            parse(
+                "INSERT INTO parts VALUES (1, 1, 'PN', 'd', 'new', 2, 3.0, "
+                "NULL, 0)"
+            )
+        )
+        assert stmt.table == "dw_parts"
+        assert stmt.columns == ("pk", "part_status")
+        assert len(stmt.rows[0]) == 2
+
+    def test_assignment_to_dropped_column_vanishes(self):
+        mapping = TableMapping(
+            "parts", "dw_parts",
+            column_map={"part_id": "pk", "status": "part_status"},
+            source_columns=parts_schema().column_names,
+        )
+        transformer = StatementTransformer({"parts": mapping})
+        stmt = transformer.transform(
+            parse("UPDATE parts SET status = 'x', quantity = 5 WHERE part_id = 1")
+        )
+        assert [a.column for a in stmt.assignments] == ["part_status"]
+
+    def test_all_assignments_dropped_is_an_error(self):
+        mapping = TableMapping(
+            "parts", "dw_parts", column_map={"part_id": "pk"},
+            source_columns=parts_schema().column_names,
+        )
+        transformer = StatementTransformer({"parts": mapping})
+        with pytest.raises(OpDeltaError, match="nothing to apply"):
+            transformer.transform(parse("UPDATE parts SET quantity = 5"))
+
+    def test_predicate_on_dropped_column_is_an_error(self):
+        mapping = TableMapping(
+            "parts", "dw_parts", column_map={"part_id": "pk"},
+            source_columns=parts_schema().column_names,
+        )
+        transformer = StatementTransformer({"parts": mapping})
+        with pytest.raises(OpDeltaError, match="dropped"):
+            transformer.transform(parse("DELETE FROM parts WHERE quantity = 5"))
+
+    def test_insert_select_rejected(self):
+        transformer = StatementTransformer()
+        with pytest.raises(OpDeltaError, match="SELECT"):
+            transformer.transform(parse("INSERT INTO parts SELECT * FROM other"))
+
+    def test_select_rejected(self):
+        with pytest.raises(OpDeltaError):
+            StatementTransformer().transform(parse("SELECT 1"))
+
+
+class TestApplier:
+    @pytest.fixture
+    def pipeline(self):
+        source = Database("apply-src")
+        workload = OltpWorkload(source)
+        workload.create_table()
+        workload.populate(150)
+        store = FileLogStore(source)
+        OpDeltaCapture(workload.session, store, tables={"parts"}).attach()
+
+        warehouse = Database("apply-wh", clock=source.clock)
+        warehouse.create_table(parts_schema())
+        from repro.engine.table import InsertMode
+
+        txn = warehouse.begin()
+        for _rid, values in source.table("parts").scan():
+            warehouse.table("parts").insert(txn, values, mode=InsertMode.BULK_INTERNAL)
+        warehouse.commit(txn)
+        return source, workload, store, warehouse
+
+    def test_replay_converges_mirror(self, pipeline):
+        source, workload, store, warehouse = pipeline
+        workload.run_update(20)
+        workload.run_insert(5)
+        workload.run_delete(10, top_up=False)
+        applier = OpDeltaApplier(warehouse.internal_session())
+        report = applier.apply_all(store.drain())
+        assert report.transactions_applied == 3
+        schema = parts_schema()
+        assert strip_timestamp(
+            schema, (v for _r, v in source.table("parts").scan())
+        ) == strip_timestamp(
+            schema, (v for _r, v in warehouse.table("parts").scan())
+        )
+
+    def test_transaction_boundaries_preserved(self, pipeline):
+        source, workload, store, warehouse = pipeline
+        session = workload.session
+        session.execute("BEGIN")
+        session.execute("UPDATE parts SET status = 'a' WHERE part_ref < 3")
+        session.execute("UPDATE parts SET status = 'b' WHERE part_ref >= 3 AND part_ref < 6")
+        session.execute("COMMIT")
+        groups = store.drain()
+        assert len(groups) == 1
+        applier = OpDeltaApplier(warehouse.internal_session())
+        commits_before = warehouse.transactions.commits
+        applier.apply_all(groups)
+        # One source txn -> exactly one warehouse txn.
+        assert warehouse.transactions.commits == commits_before + 1
+
+    def test_failed_group_rolls_back_atomically(self, pipeline):
+        source, workload, store, warehouse = pipeline
+        session = workload.session
+        # Capture a good transaction, then poison its group with an
+        # operation that collides at the warehouse (duplicate PK 0).
+        session.execute("BEGIN")
+        session.execute("UPDATE parts SET status = 'ok' WHERE part_ref < 3")
+        session.execute("COMMIT")
+        groups = store.drain()
+        assert len(groups) == 1
+        poisoned = groups[0]
+        from repro.core.opdelta import OpDelta, OpKind
+
+        poisoned.operations.append(
+            OpDelta(
+                "INSERT INTO parts VALUES (0, 9, 'PN', 'd', 'new', 1, 1.0, "
+                "NULL, 0)",
+                "parts", OpKind.INSERT, poisoned.txn_id, 99, 0.0,
+            )
+        )
+        before = sorted(v for _r, v in warehouse.table("parts").scan())
+        applier = OpDeltaApplier(warehouse.internal_session())
+        with pytest.raises(WarehouseError):
+            applier.apply_transaction(poisoned)
+        after = sorted(v for _r, v in warehouse.table("parts").scan())
+        assert before == after  # nothing partially applied
+
+    def test_empty_group_is_noop(self, pipeline):
+        _source, _workload, _store, warehouse = pipeline
+        from repro.core.opdelta import OpDeltaTransaction
+
+        applier = OpDeltaApplier(warehouse.internal_session())
+        assert applier.apply_transaction(OpDeltaTransaction(1)) == 0.0

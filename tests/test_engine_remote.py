@@ -1,0 +1,73 @@
+"""Tests for remote database links (IPC / LAN)."""
+
+import pytest
+
+from repro.engine import Database
+from repro.engine.remote import LinkKind, open_remote
+
+
+@pytest.fixture
+def pair():
+    local = Database("local")
+    remote = Database("remote", clock=local.clock)
+    remote.create_table(
+        __import__("repro.workloads", fromlist=["parts_schema"]).parts_schema()
+    )
+    return local, remote
+
+
+class TestRemoteSession:
+    def test_open_charges_connection_setup(self, pair):
+        local, remote = pair
+        before = local.clock.now
+        open_remote(local, remote, LinkKind.SAME_MACHINE)
+        assert local.clock.now - before >= local.costs.connection_setup
+
+    def test_statements_execute_remotely(self, pair):
+        local, remote = pair
+        link = open_remote(local, remote, LinkKind.LAN)
+        link.execute(
+            "INSERT INTO parts VALUES (1, 1, 'PN', 'd', 'new', 1, 1.0, NULL, 0)"
+        )
+        assert remote.table("parts").num_rows == 1
+        assert link.statements_sent == 1
+
+    def test_lan_costs_more_than_ipc(self, pair):
+        local, remote = pair
+        sql = "SELECT COUNT(*) FROM parts"
+
+        ipc = open_remote(local, remote, LinkKind.SAME_MACHINE)
+        with local.clock.stopwatch() as ipc_watch:
+            ipc.execute(sql)
+
+        lan = open_remote(local, remote, LinkKind.LAN)
+        with local.clock.stopwatch() as lan_watch:
+            lan.execute(sql)
+        assert lan_watch.elapsed > ipc_watch.elapsed
+
+    def test_remote_costs_more_than_local(self, pair):
+        local, remote = pair
+        sql = "SELECT COUNT(*) FROM parts"
+        direct = remote.internal_session()
+        with local.clock.stopwatch() as direct_watch:
+            direct.execute(sql)
+        link = open_remote(local, remote, LinkKind.SAME_MACHINE)
+        with local.clock.stopwatch() as remote_watch:
+            link.execute(sql)
+        assert remote_watch.elapsed > direct_watch.elapsed + 20
+
+    def test_payload_size_matters_on_lan(self, pair):
+        local, remote = pair
+        link = open_remote(local, remote, LinkKind.LAN)
+        short = "SELECT COUNT(*) FROM parts"
+        long = short + " WHERE part_no <> '" + "x" * 5_000 + "'"
+        with local.clock.stopwatch() as short_watch:
+            link.execute(short)
+        with local.clock.stopwatch() as long_watch:
+            link.execute(long)
+        assert long_watch.elapsed > short_watch.elapsed
+
+    def test_query_helper(self, pair):
+        local, remote = pair
+        link = open_remote(local, remote, LinkKind.LAN)
+        assert link.query("SELECT COUNT(*) FROM parts") == [(0,)]

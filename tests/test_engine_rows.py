@@ -1,0 +1,90 @@
+"""Tests for the row codec and ASCII dump-line format."""
+
+import pytest
+
+from repro.engine.rows import (
+    RowId,
+    decode_row,
+    encode_row,
+    format_ascii,
+    parse_ascii,
+    row_as_dict,
+)
+from repro.engine.schema import Column, TableSchema
+from repro.engine.types import FLOAT, INTEGER, char
+from repro.errors import StorageError
+
+
+@pytest.fixture
+def schema() -> TableSchema:
+    return TableSchema(
+        "t",
+        [
+            Column("id", INTEGER, nullable=False),
+            Column("name", char(12)),
+            Column("price", FLOAT),
+        ],
+    )
+
+
+class TestBinaryCodec:
+    def test_roundtrip(self, schema):
+        row = (7, "widget", 1.25)
+        assert decode_row(schema, encode_row(schema, row)) == row
+
+    def test_roundtrip_with_nulls(self, schema):
+        row = (7, None, None)
+        assert decode_row(schema, encode_row(schema, row)) == row
+
+    def test_record_size_constant(self, schema):
+        assert len(encode_row(schema, (1, "a", 1.0))) == schema.record_size
+        assert len(encode_row(schema, (1, None, None))) == schema.record_size
+
+    def test_wrong_arity(self, schema):
+        with pytest.raises(StorageError):
+            encode_row(schema, (1, "a"))
+
+    def test_decode_wrong_size(self, schema):
+        with pytest.raises(StorageError):
+            decode_row(schema, b"\x00" * 3)
+
+    def test_row_as_dict(self, schema):
+        assert row_as_dict(schema, (1, "a", 2.0)) == {
+            "id": 1, "name": "a", "price": 2.0,
+        }
+
+
+class TestRowId:
+    def test_ordering(self):
+        assert RowId(0, 5) < RowId(1, 0)
+        assert RowId(1, 2) < RowId(1, 3)
+
+    def test_hashable(self):
+        assert len({RowId(0, 1), RowId(0, 1), RowId(0, 2)}) == 2
+
+
+class TestAsciiFormat:
+    def test_roundtrip(self, schema):
+        row = schema.validate_values((7, "widget", 1.25))
+        assert parse_ascii(schema, format_ascii(schema, row)) == row
+
+    def test_null_roundtrip(self, schema):
+        row = (7, None, None)
+        assert parse_ascii(schema, format_ascii(schema, row)) == row
+
+    def test_pipe_escaping(self, schema):
+        row = schema.validate_values((1, "a|b", 2.0))
+        line = format_ascii(schema, row)
+        assert parse_ascii(schema, line) == row
+
+    def test_backslash_escaping(self, schema):
+        row = schema.validate_values((1, "a\\b", 2.0))
+        assert parse_ascii(schema, format_ascii(schema, row)) == row
+
+    def test_float_precision_preserved(self, schema):
+        row = schema.validate_values((1, "x", 0.1 + 0.2))
+        assert parse_ascii(schema, format_ascii(schema, row))[2] == row[2]
+
+    def test_field_count_mismatch(self, schema):
+        with pytest.raises(StorageError):
+            parse_ascii(schema, "1|2")

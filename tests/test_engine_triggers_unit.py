@@ -1,0 +1,115 @@
+"""Unit tests for the trigger machinery itself (TriggerSet semantics)."""
+
+import pytest
+
+from repro.clock import VirtualClock
+from repro.engine.costs import DEFAULT_COST_MODEL
+from repro.engine.triggers import (
+    Trigger,
+    TriggerContext,
+    TriggerEvent,
+    TriggerSet,
+    TriggerTiming,
+)
+from repro.errors import CatalogError, TriggerError
+
+
+@pytest.fixture
+def trigger_set():
+    return TriggerSet(VirtualClock(), DEFAULT_COST_MODEL)
+
+
+def context(event=TriggerEvent.INSERT):
+    return TriggerContext(
+        transaction=None, table=None, event=event,  # type: ignore[arg-type]
+        old_values=None, new_values=(1,),
+    )
+
+
+class TestRegistry:
+    def test_add_and_names(self, trigger_set):
+        trigger_set.add(
+            Trigger("t1", TriggerEvent.INSERT, TriggerTiming.AFTER, lambda c: None)
+        )
+        assert trigger_set.names() == ("t1",)
+        assert len(trigger_set) == 1
+
+    def test_duplicate_rejected(self, trigger_set):
+        trigger = Trigger("t", TriggerEvent.INSERT, TriggerTiming.AFTER, lambda c: None)
+        trigger_set.add(trigger)
+        with pytest.raises(CatalogError):
+            trigger_set.add(trigger)
+
+    def test_drop(self, trigger_set):
+        trigger_set.add(
+            Trigger("t", TriggerEvent.INSERT, TriggerTiming.AFTER, lambda c: None)
+        )
+        trigger_set.drop("t")
+        assert len(trigger_set) == 0
+
+    def test_drop_missing(self, trigger_set):
+        with pytest.raises(CatalogError):
+            trigger_set.drop("ghost")
+
+
+class TestFiring:
+    def test_only_matching_event_and_timing(self, trigger_set):
+        fired = []
+        trigger_set.add(Trigger(
+            "after_insert", TriggerEvent.INSERT, TriggerTiming.AFTER,
+            lambda c: fired.append("after_insert"),
+        ))
+        trigger_set.add(Trigger(
+            "before_insert", TriggerEvent.INSERT, TriggerTiming.BEFORE,
+            lambda c: fired.append("before_insert"),
+        ))
+        trigger_set.add(Trigger(
+            "after_delete", TriggerEvent.DELETE, TriggerTiming.AFTER,
+            lambda c: fired.append("after_delete"),
+        ))
+        trigger_set.fire(TriggerTiming.AFTER, context(TriggerEvent.INSERT))
+        assert fired == ["after_insert"]
+
+    def test_multiple_triggers_all_fire(self, trigger_set):
+        fired = []
+        for name in ("a", "b", "c"):
+            trigger_set.add(Trigger(
+                name, TriggerEvent.INSERT, TriggerTiming.AFTER,
+                lambda c, n=name: fired.append(n),
+            ))
+        trigger_set.fire(TriggerTiming.AFTER, context())
+        assert fired == ["a", "b", "c"]
+
+    def test_firing_charges_clock(self, trigger_set):
+        trigger_set.add(
+            Trigger("t", TriggerEvent.INSERT, TriggerTiming.AFTER, lambda c: None)
+        )
+        before = trigger_set._clock.now
+        trigger_set.fire(TriggerTiming.AFTER, context())
+        assert trigger_set._clock.now - before == pytest.approx(
+            DEFAULT_COST_MODEL.trigger_invoke
+        )
+        assert trigger_set.firings == 1
+
+    def test_exception_wrapped_in_trigger_error(self, trigger_set):
+        class FakeTable:
+            name = "t"
+
+        def boom(_c):
+            raise ValueError("inner")
+
+        trigger_set.add(Trigger("t", TriggerEvent.INSERT, TriggerTiming.AFTER, boom))
+        bad_context = TriggerContext(
+            transaction=None, table=FakeTable(),  # type: ignore[arg-type]
+            event=TriggerEvent.INSERT, old_values=None, new_values=(1,),
+        )
+        with pytest.raises(TriggerError, match="inner"):
+            trigger_set.fire(TriggerTiming.AFTER, bad_context)
+
+    def test_trigger_error_passes_through_unwrapped(self, trigger_set):
+        def boom(_c):
+            raise TriggerError("original")
+
+        trigger_set.add(Trigger("t", TriggerEvent.INSERT, TriggerTiming.AFTER, boom))
+        with pytest.raises(TriggerError, match="^original$"):
+            trigger_set.fire(TriggerTiming.AFTER, context())

@@ -1,0 +1,124 @@
+"""Tests for column datatypes and their binary codecs."""
+
+import pytest
+
+from repro.engine.types import (
+    FLOAT,
+    INTEGER,
+    TIMESTAMP,
+    CharType,
+    char,
+    type_from_sql,
+)
+from repro.errors import SchemaError
+
+
+class TestIntegerType:
+    def test_width(self):
+        assert INTEGER.width == 8
+
+    @pytest.mark.parametrize("value", [0, 1, -1, 2**62, -(2**62)])
+    def test_roundtrip(self, value):
+        assert INTEGER.decode(INTEGER.encode(value)) == value
+
+    def test_rejects_bool(self):
+        with pytest.raises(SchemaError):
+            INTEGER.validate(True)
+
+    def test_rejects_float(self):
+        with pytest.raises(SchemaError):
+            INTEGER.validate(1.5)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(SchemaError):
+            INTEGER.validate(2**63)
+
+
+class TestFloatType:
+    def test_roundtrip(self):
+        assert FLOAT.decode(FLOAT.encode(3.14159)) == pytest.approx(3.14159)
+
+    def test_coerces_int(self):
+        assert FLOAT.validate(3) == 3.0
+        assert isinstance(FLOAT.validate(3), float)
+
+    def test_rejects_string(self):
+        with pytest.raises(SchemaError):
+            FLOAT.validate("1.0")
+
+    def test_rejects_bool(self):
+        with pytest.raises(SchemaError):
+            FLOAT.validate(False)
+
+
+class TestTimestampType:
+    def test_is_float_compatible(self):
+        assert TIMESTAMP.width == 8
+        assert TIMESTAMP.decode(TIMESTAMP.encode(123.456)) == pytest.approx(123.456)
+
+    def test_named(self):
+        assert TIMESTAMP.name == "TIMESTAMP"
+
+
+class TestCharType:
+    def test_roundtrip_with_padding(self):
+        ct = char(10)
+        encoded = ct.encode("abc")
+        assert len(encoded) == 10
+        assert ct.decode(encoded) == "abc"
+
+    def test_full_width(self):
+        ct = char(4)
+        assert ct.decode(ct.encode("wxyz")) == "wxyz"
+
+    def test_rejects_too_long(self):
+        with pytest.raises(SchemaError):
+            char(3).validate("abcd")
+
+    def test_rejects_non_latin1(self):
+        with pytest.raises(SchemaError):
+            char(8).validate("日本語")
+
+    def test_rejects_non_string(self):
+        with pytest.raises(SchemaError):
+            char(8).validate(42)
+
+    def test_rejects_zero_length(self):
+        with pytest.raises(SchemaError):
+            CharType(0)
+
+    def test_equality_by_length(self):
+        assert char(5) == char(5)
+        assert char(5) != char(6)
+        assert hash(char(5)) == hash(char(5))
+
+    def test_trailing_spaces_stripped(self):
+        # CHAR semantics: stored space-padded, read back stripped.
+        ct = char(8)
+        assert ct.decode(ct.encode("hi ")) == "hi"
+
+
+class TestTypeFromSql:
+    @pytest.mark.parametrize("name", ["INTEGER", "integer", "INT", "BIGINT"])
+    def test_integer_spellings(self, name):
+        assert type_from_sql(name) is INTEGER
+
+    @pytest.mark.parametrize("name", ["FLOAT", "DOUBLE", "REAL"])
+    def test_float_spellings(self, name):
+        assert type_from_sql(name) is FLOAT
+
+    def test_timestamp(self):
+        assert type_from_sql("TIMESTAMP") is TIMESTAMP
+
+    def test_char_with_length(self):
+        resolved = type_from_sql("CHAR", 12)
+        assert isinstance(resolved, CharType)
+        assert resolved.length == 12
+
+    def test_char_requires_length(self):
+        with pytest.raises(SchemaError):
+            type_from_sql("CHAR")
+
+    def test_unknown_type(self):
+        with pytest.raises(SchemaError):
+            type_from_sql("BLOB")

@@ -1,0 +1,80 @@
+"""Tests for the exception hierarchy and package public surfaces."""
+
+import pytest
+
+from repro import errors
+
+
+class TestErrorHierarchy:
+    def test_everything_derives_from_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                assert issubclass(obj, errors.ReproError), name
+
+    @pytest.mark.parametrize(
+        "child,parent",
+        [
+            (errors.CatalogError, errors.EngineError),
+            (errors.SchemaError, errors.EngineError),
+            (errors.StorageError, errors.EngineError),
+            (errors.TransactionError, errors.EngineError),
+            (errors.ConstraintError, errors.EngineError),
+            (errors.TriggerError, errors.EngineError),
+            (errors.UtilityError, errors.EngineError),
+            (errors.LogError, errors.EngineError),
+            (errors.RecoveryError, errors.EngineError),
+            (errors.SqlSyntaxError, errors.SqlError),
+            (errors.SqlAnalysisError, errors.SqlError),
+            (errors.SnapshotError, errors.ExtractionError),
+            (errors.SelfMaintenanceError, errors.OpDeltaError),
+        ],
+    )
+    def test_layer_parentage(self, child, parent):
+        assert issubclass(child, parent)
+
+    def test_engine_errors_catchable_as_one_layer(self):
+        from repro.engine import Database
+        from repro.errors import EngineError
+
+        with pytest.raises(EngineError):
+            Database("x").table("nope")
+
+
+class TestPublicSurfaces:
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro",
+            "repro.engine",
+            "repro.sql",
+            "repro.extraction",
+            "repro.core",
+            "repro.warehouse",
+            "repro.transport",
+            "repro.sources",
+            "repro.workloads",
+            "repro.sim",
+            "repro.bench",
+        ],
+    )
+    def test_all_exports_resolve(self, module):
+        imported = __import__(module, fromlist=["__all__"])
+        for name in getattr(imported, "__all__", []):
+            assert hasattr(imported, name), f"{module}.{name}"
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__
+
+    def test_experiment_registry_complete(self):
+        from repro.bench.experiments import REGISTRY
+
+        expected = {
+            "table1", "table2", "table3", "table4", "fig2", "fig3",
+            "maintenance_window", "remote_trigger", "online_maintenance",
+            "snapshot_algorithms", "hybrid_capture", "timestamp_index",
+            "freshness", "capture_levels", "aggregate_views", "sensitivity",
+        }
+        assert set(REGISTRY) == expected

@@ -1,0 +1,121 @@
+"""Tests for the delta currency: records, batches, application helper."""
+
+import pytest
+
+from repro.errors import ExtractionError
+from repro.extraction.deltas import (
+    ChangeKind,
+    DeltaBatch,
+    DeltaRecord,
+    apply_batch_to_rows,
+)
+from repro.workloads import parts_schema
+
+
+@pytest.fixture
+def schema():
+    return parts_schema()
+
+
+def row(part_id, status="new"):
+    return (part_id, part_id, f"PN-{part_id}", "d", status, 1, 1.0, None, 0)
+
+
+class TestDeltaRecord:
+    def test_insert_shape(self):
+        record = DeltaRecord(ChangeKind.INSERT, 1, after=row(1))
+        assert record.image_count() == 1
+
+    def test_update_shape(self):
+        record = DeltaRecord(ChangeKind.UPDATE, 1, before=row(1), after=row(1, "x"))
+        assert record.image_count() == 2
+
+    def test_delete_shape(self):
+        assert DeltaRecord(ChangeKind.DELETE, 1, before=row(1)).image_count() == 1
+
+    def test_insert_with_before_rejected(self):
+        with pytest.raises(ExtractionError):
+            DeltaRecord(ChangeKind.INSERT, 1, before=row(1), after=row(1))
+
+    def test_update_needs_both_images(self):
+        with pytest.raises(ExtractionError):
+            DeltaRecord(ChangeKind.UPDATE, 1, after=row(1))
+
+    def test_delete_needs_before_only(self):
+        with pytest.raises(ExtractionError):
+            DeltaRecord(ChangeKind.DELETE, 1, after=row(1))
+
+
+class TestDeltaBatch:
+    def test_size_bytes_counts_images(self, schema):
+        batch = DeltaBatch("parts", schema)
+        batch.append(DeltaRecord(ChangeKind.INSERT, 1, after=row(1)))
+        batch.append(DeltaRecord(ChangeKind.UPDATE, 2, before=row(2), after=row(2, "x")))
+        assert batch.size_bytes == 3 * schema.record_size
+
+    def test_counts(self, schema):
+        batch = DeltaBatch("parts", schema)
+        batch.append(DeltaRecord(ChangeKind.INSERT, 1, after=row(1)))
+        batch.append(DeltaRecord(ChangeKind.DELETE, 2, before=row(2)))
+        counts = batch.counts()
+        assert counts[ChangeKind.INSERT] == 1
+        assert counts[ChangeKind.DELETE] == 1
+        assert counts[ChangeKind.UPDATE] == 0
+
+    def test_net_effect_keeps_last(self, schema):
+        batch = DeltaBatch("parts", schema)
+        batch.append(DeltaRecord(ChangeKind.INSERT, 1, after=row(1)))
+        batch.append(DeltaRecord(ChangeKind.UPDATE, 1, before=row(1), after=row(1, "x")))
+        effect = batch.net_effect()
+        assert effect[1].kind is ChangeKind.UPDATE
+
+    def test_value_delta_volume_dominates_statement_size(self, schema):
+        """The §4.1 size argument: 1,000 updated rows → 2,000 images."""
+        batch = DeltaBatch("parts", schema)
+        for i in range(1_000):
+            batch.append(
+                DeltaRecord(ChangeKind.UPDATE, i, before=row(i), after=row(i, "x"))
+            )
+        statement = "UPDATE parts SET status='revised' WHERE part_ref < 1000"
+        assert batch.size_bytes > 1_000 * len(statement)
+
+
+class TestApplyBatch:
+    def test_apply_sequence(self, schema):
+        base = [row(1), row(2)]
+        batch = DeltaBatch("parts", schema)
+        batch.append(DeltaRecord(ChangeKind.INSERT, 3, after=row(3)))
+        batch.append(DeltaRecord(ChangeKind.DELETE, 1, before=row(1)))
+        batch.append(DeltaRecord(ChangeKind.UPDATE, 2, before=row(2), after=row(2, "x")))
+        result = sorted(apply_batch_to_rows(batch, base, key_index=0))
+        assert result == sorted([row(2, "x"), row(3)])
+
+    def test_upsert_inserts_or_replaces(self, schema):
+        batch = DeltaBatch("parts", schema)
+        batch.append(DeltaRecord(ChangeKind.UPSERT, 1, after=row(1, "x")))
+        batch.append(DeltaRecord(ChangeKind.UPSERT, 9, after=row(9)))
+        result = sorted(apply_batch_to_rows(batch, [row(1)], key_index=0))
+        assert result == sorted([row(1, "x"), row(9)])
+
+    def test_update_changing_key(self, schema):
+        batch = DeltaBatch("parts", schema)
+        batch.append(DeltaRecord(ChangeKind.UPDATE, 1, before=row(1), after=row(5)))
+        result = apply_batch_to_rows(batch, [row(1)], key_index=0)
+        assert result == [row(5)]
+
+    def test_insert_duplicate_rejected(self, schema):
+        batch = DeltaBatch("parts", schema)
+        batch.append(DeltaRecord(ChangeKind.INSERT, 1, after=row(1)))
+        with pytest.raises(ExtractionError):
+            apply_batch_to_rows(batch, [row(1)], key_index=0)
+
+    def test_delete_missing_rejected(self, schema):
+        batch = DeltaBatch("parts", schema)
+        batch.append(DeltaRecord(ChangeKind.DELETE, 9, before=row(9)))
+        with pytest.raises(ExtractionError):
+            apply_batch_to_rows(batch, [row(1)], key_index=0)
+
+    def test_duplicate_base_keys_rejected(self, schema):
+        batch = DeltaBatch("parts", schema)
+        with pytest.raises(ExtractionError):
+            apply_batch_to_rows(batch, [row(1), row(1)], key_index=0)

@@ -1,0 +1,132 @@
+"""Tests for differential-snapshot algorithms."""
+
+import pytest
+
+from repro.engine import Database, take_snapshot
+from repro.engine.snapshots import Snapshot
+from repro.errors import SnapshotError
+from repro.extraction import ChangeKind, apply_batch_to_rows, diff_snapshots
+from repro.extraction.snapshot_diff import ALGORITHMS, diff_window
+from repro.workloads import OltpWorkload, parts_schema
+
+
+@pytest.fixture
+def churned():
+    database = Database("snap-test")
+    workload = OltpWorkload(database)
+    workload.create_table()
+    workload.populate(200)
+    old = take_snapshot(database, "parts")
+    workload.run_update(30, assignment="status = 'revised'")
+    workload.run_delete(10, top_up=False)
+    workload.run_insert(15)
+    new = take_snapshot(database, "parts")
+    return database, old, new
+
+
+@pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+class TestAllAlgorithms:
+    def test_delta_applies_to_old_yields_new(self, churned, algorithm):
+        database, old, new = churned
+        batch = diff_snapshots(database, old, new, algorithm)
+        key = old.schema.primary_key_index()
+        assert sorted(apply_batch_to_rows(batch, old.rows, key)) == sorted(new.rows)
+
+    def test_identical_snapshots_yield_empty_delta(self, algorithm):
+        database = Database("snap-id")
+        workload = OltpWorkload(database)
+        workload.create_table()
+        workload.populate(50)
+        first = take_snapshot(database, "parts")
+        second = take_snapshot(database, "parts")
+        assert len(diff_snapshots(database, first, second, algorithm)) == 0
+
+
+class TestSortMergeDetail:
+    def test_minimal_counts(self, churned):
+        database, old, new = churned
+        batch = diff_snapshots(database, old, new, "sort_merge")
+        counts = batch.counts()
+        # 30 updated, of which 10 subsequently deleted → 20 updates remain.
+        assert counts[ChangeKind.DELETE] == 10
+        assert counts[ChangeKind.INSERT] == 15
+        assert counts[ChangeKind.UPDATE] == 20
+
+    def test_cost_better_than_naive(self, churned):
+        database, old, new = churned
+        with database.clock.stopwatch() as naive_watch:
+            diff_snapshots(database, old, new, "naive")
+        with database.clock.stopwatch() as merge_watch:
+            diff_snapshots(database, old, new, "sort_merge")
+        assert merge_watch.elapsed < naive_watch.elapsed
+
+
+class TestWindowDetail:
+    def test_aligned_files_give_minimal_output(self, churned):
+        database, old, new = churned
+        minimal = diff_snapshots(database, old, new, "sort_merge")
+        windowed = diff_window(database, old, new, window=256)
+        assert len(windowed) == len(minimal)
+
+    def test_misaligned_files_degrade_but_stay_correct(self, churned):
+        database, old, new = churned
+        # Reverse the new dump's row order: nothing aligns within a small
+        # window, so matches degrade to delete+insert pairs.
+        reversed_new = Snapshot(
+            new.table_name, new.schema, new.taken_at, list(reversed(new.rows))
+        )
+        batch = diff_window(database, old, reversed_new, window=4)
+        minimal = diff_snapshots(database, old, new, "sort_merge")
+        assert len(batch) > len(minimal)
+        key = old.schema.primary_key_index()
+        assert sorted(apply_batch_to_rows(batch, old.rows, key)) == sorted(new.rows)
+
+    def test_window_must_be_positive(self, churned):
+        database, old, new = churned
+        with pytest.raises(SnapshotError):
+            diff_window(database, old, new, window=0)
+
+
+class TestValidation:
+    def test_unknown_algorithm(self, churned):
+        database, old, new = churned
+        with pytest.raises(SnapshotError, match="unknown"):
+            diff_snapshots(database, old, new, "quantum")
+
+    def test_different_tables_rejected(self, churned):
+        database, old, new = churned
+        other = Snapshot("other", old.schema.renamed("other"), 0.0, [])
+        with pytest.raises(SnapshotError):
+            diff_snapshots(database, old, other)
+
+    def test_requires_primary_key(self):
+        database = Database("nopk")
+        schema = parts_schema()
+        from repro.engine.schema import TableSchema
+
+        no_pk = TableSchema("parts", schema.columns, primary_key=None)
+        database.create_table(no_pk)
+        snap = take_snapshot(database, "parts")
+        with pytest.raises(SnapshotError, match="primary key"):
+            diff_snapshots(database, snap, snap)
+
+
+class TestSnapshotUtility:
+    def test_snapshot_contents(self):
+        database = Database("snap-c")
+        workload = OltpWorkload(database)
+        workload.create_table()
+        workload.populate(25)
+        snap = take_snapshot(database, "parts")
+        assert snap.num_records == 25
+        assert snap.size_bytes == 25 * snap.schema.record_size
+        assert snap.taken_at >= 0
+
+    def test_snapshot_charges_dump_cost(self):
+        database = Database("snap-cost")
+        workload = OltpWorkload(database)
+        workload.create_table()
+        workload.populate(500)
+        with database.clock.stopwatch() as watch:
+            take_snapshot(database, "parts")
+        assert watch.elapsed > 0

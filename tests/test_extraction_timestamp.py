@@ -1,0 +1,97 @@
+"""Tests for timestamp-based extraction, including its blind spots."""
+
+import pytest
+
+from repro.engine import Database
+from repro.errors import ExtractionError
+from repro.extraction import ChangeKind, TimestampExtractor
+from repro.workloads import OltpWorkload
+
+
+@pytest.fixture
+def source():
+    database = Database("ts-test")
+    workload = OltpWorkload(database)
+    workload.create_table()
+    workload.populate(300)
+    return database, workload
+
+
+class TestExtraction:
+    def test_file_output_extracts_modified_rows(self, source):
+        database, workload = source
+        cutoff = database.clock.timestamp()
+        workload.run_update(25)
+        outcome = TimestampExtractor(database, "parts").extract_to_file(cutoff)
+        assert outcome.rows_extracted == 25
+        assert outcome.file is not None and outcome.file.num_records == 25
+
+    def test_table_output_materialises_delta_table(self, source):
+        database, workload = source
+        cutoff = database.clock.timestamp()
+        workload.run_update(10)
+        outcome = TimestampExtractor(database, "parts").extract_to_table(cutoff)
+        assert outcome.delta_table == "parts_delta"
+        assert database.table("parts_delta").num_rows == 10
+
+    def test_table_output_plus_export(self, source):
+        database, workload = source
+        cutoff = database.clock.timestamp()
+        workload.run_update(10)
+        outcome = TimestampExtractor(
+            database, "parts"
+        ).extract_to_table_and_export(cutoff)
+        assert outcome.export is not None
+        assert outcome.export.num_records == 10
+
+    def test_inserts_are_captured(self, source):
+        database, workload = source
+        cutoff = database.clock.timestamp()
+        workload.run_insert(7)
+        batch = TimestampExtractor(database, "parts").extract_deltas(cutoff)
+        assert len(batch) == 7
+        assert all(r.kind is ChangeKind.UPSERT for r in batch)
+
+    def test_requires_timestamp_column(self, db, small_schema):
+        db.create_table(small_schema)
+        with pytest.raises(ExtractionError, match="timestamp"):
+            TimestampExtractor(db, "items")
+
+    def test_elapsed_is_positive_and_isolated(self, source):
+        database, workload = source
+        cutoff = database.clock.timestamp()
+        workload.run_update(5)
+        outcome = TimestampExtractor(database, "parts").extract_to_file(cutoff)
+        assert outcome.elapsed_ms > 0
+
+
+class TestLimitations:
+    """§3.1.1: only final states are visible; deletes are invisible."""
+
+    def test_intermediate_states_lost(self, source):
+        database, workload = source
+        cutoff = database.clock.timestamp()
+        workload.run_update(10, assignment="status = 'step1'")
+        workload.run_update(10, assignment="status = 'step2'")
+        batch = TimestampExtractor(database, "parts").extract_deltas(cutoff)
+        # Two state changes, one captured row per key, showing only step2.
+        assert len(batch) == 10
+        status_index = database.table("parts").schema.column_index("status")
+        assert all(r.after[status_index] == "step2" for r in batch)
+
+    def test_deletes_invisible(self, source):
+        database, workload = source
+        cutoff = database.clock.timestamp()
+        workload.run_delete(20, top_up=False)
+        batch = TimestampExtractor(database, "parts").extract_deltas(cutoff)
+        assert len(batch) == 0  # the deletion left nothing to select
+
+    def test_second_extraction_sees_nothing_new(self, source):
+        database, workload = source
+        cutoff = database.clock.timestamp()
+        workload.run_update(10)
+        extractor = TimestampExtractor(database, "parts")
+        first = extractor.extract_deltas(cutoff)
+        new_cutoff = database.clock.timestamp()
+        second = extractor.extract_deltas(new_cutoff)
+        assert len(first) == 10 and len(second) == 0

@@ -1,0 +1,134 @@
+"""Tests for delta-table writers and row→batch decoding."""
+
+import pytest
+
+from repro.engine import Database
+from repro.errors import ExtractionError
+from repro.extraction import ChangeKind, DeltaTableWriter, delta_rows_to_batch
+from repro.extraction.writers import DELTA_PREFIX_COLUMNS, delta_table_schema
+from repro.workloads import PartsGenerator, parts_schema
+
+
+@pytest.fixture
+def writer(parts_db):
+    return DeltaTableWriter(parts_db, parts_schema(), "parts_cdc")
+
+
+def rows_of(writer):
+    return [values for _rid, values in writer.table.scan()]
+
+
+class TestDeltaTableSchema:
+    def test_prefix_plus_source_columns(self):
+        schema = delta_table_schema(parts_schema(), "cdc")
+        assert schema.column_names[: len(DELTA_PREFIX_COLUMNS)] == tuple(
+            c.name for c in DELTA_PREFIX_COLUMNS
+        )
+        assert schema.column_names[len(DELTA_PREFIX_COLUMNS):] == (
+            parts_schema().column_names
+        )
+
+    def test_no_primary_key(self):
+        assert delta_table_schema(parts_schema(), "cdc").primary_key is None
+
+
+class TestWriter:
+    def test_insert_capture(self, parts_db, writer):
+        row = PartsGenerator().row(1, timestamp=1.0)
+        txn = parts_db.begin()
+        writer.write_insert(txn, row)
+        parts_db.commit(txn)
+        (captured,) = rows_of(writer)
+        assert captured[1] == "I" and captured[2] == "A"
+        assert captured[4:] == row
+
+    def test_update_capture_writes_two_images(self, parts_db, writer):
+        generator = PartsGenerator()
+        old, new = generator.row(1, timestamp=1.0), generator.row(1, timestamp=2.0)
+        txn = parts_db.begin()
+        writer.write_update(txn, old, new)
+        parts_db.commit(txn)
+        captured = rows_of(writer)
+        assert len(captured) == 2
+        assert {row[2] for row in captured} == {"B", "A"}
+        assert captured[0][0] == captured[1][0]  # shared sequence
+
+    def test_incompatible_existing_table_rejected(self, parts_db, small_schema):
+        parts_db.create_table(small_schema.renamed("bad_cdc"))
+        with pytest.raises(ExtractionError, match="incompatible"):
+            DeltaTableWriter(parts_db, parts_schema(), "bad_cdc")
+
+    def test_reuses_compatible_existing_table(self, parts_db):
+        first = DeltaTableWriter(parts_db, parts_schema(), "parts_cdc")
+        second = DeltaTableWriter(parts_db, parts_schema(), "parts_cdc")
+        assert first.table is second.table
+
+    def test_truncate(self, parts_db, writer):
+        txn = parts_db.begin()
+        writer.write_insert(txn, PartsGenerator().row(1, timestamp=1.0))
+        parts_db.commit(txn)
+        assert writer.truncate() == 1
+        assert rows_of(writer) == []
+
+
+class TestDecoding:
+    def test_roundtrip(self, parts_db, writer):
+        generator = PartsGenerator()
+        txn = parts_db.begin()
+        writer.write_insert(txn, generator.row(1, timestamp=1.0))
+        writer.write_update(
+            txn, generator.row(2, timestamp=1.0), generator.row(2, timestamp=2.0)
+        )
+        writer.write_delete(txn, generator.row(3, timestamp=1.0))
+        parts_db.commit(txn)
+        batch = delta_rows_to_batch(parts_schema(), rows_of(writer))
+        counts = batch.counts()
+        assert counts[ChangeKind.INSERT] == 1
+        assert counts[ChangeKind.UPDATE] == 1
+        assert counts[ChangeKind.DELETE] == 1
+
+    def test_out_of_order_rows_still_pair(self, parts_db, writer):
+        generator = PartsGenerator()
+        txn = parts_db.begin()
+        writer.write_update(
+            txn, generator.row(2, timestamp=1.0), generator.row(2, timestamp=2.0)
+        )
+        parts_db.commit(txn)
+        rows = rows_of(writer)
+        batch = delta_rows_to_batch(parts_schema(), list(reversed(rows)))
+        assert batch.records[0].kind is ChangeKind.UPDATE
+
+    def test_unpaired_before_image_rejected(self, parts_db, writer):
+        generator = PartsGenerator()
+        txn = parts_db.begin()
+        writer.write_update(
+            txn, generator.row(2, timestamp=1.0), generator.row(2, timestamp=2.0)
+        )
+        parts_db.commit(txn)
+        rows = [row for row in rows_of(writer) if row[2] == "B"]
+        with pytest.raises(ExtractionError, match="unpaired"):
+            delta_rows_to_batch(parts_schema(), rows)
+
+    def test_after_without_before_rejected(self, parts_db, writer):
+        generator = PartsGenerator()
+        txn = parts_db.begin()
+        writer.write_update(
+            txn, generator.row(2, timestamp=1.0), generator.row(2, timestamp=2.0)
+        )
+        parts_db.commit(txn)
+        rows = [row for row in rows_of(writer) if row[2] == "A"]
+        with pytest.raises(ExtractionError, match="without before"):
+            delta_rows_to_batch(parts_schema(), rows)
+
+    def test_requires_source_primary_key(self):
+        from repro.engine.schema import TableSchema
+
+        schema = parts_schema()
+        no_pk = TableSchema("parts", schema.columns, primary_key=None)
+        with pytest.raises(ExtractionError, match="primary key"):
+            delta_rows_to_batch(no_pk, [])
+
+    def test_unknown_op_rejected(self, parts_db, writer):
+        row = (1, "Z", "A", 1) + PartsGenerator().row(1, timestamp=1.0)
+        with pytest.raises(ExtractionError, match="unknown change op"):
+            delta_rows_to_batch(parts_schema(), [row])

@@ -1,0 +1,192 @@
+"""Tests for the planner/executor: access paths, joins, aggregates, DML."""
+
+import pytest
+
+from repro.engine import Database
+from repro.errors import SqlAnalysisError
+
+from .conftest import insert_parts
+
+
+@pytest.fixture
+def session():
+    database = Database("exec-test")
+    s = database.internal_session()
+    s.execute(
+        "CREATE TABLE parts (part_id INTEGER PRIMARY KEY, part_ref INTEGER "
+        "NOT NULL, part_no CHAR(12) NOT NULL, description CHAR(40), "
+        "status CHAR(10) NOT NULL, quantity INTEGER NOT NULL, price FLOAT "
+        "NOT NULL, last_modified TIMESTAMP, supplier_id INTEGER NOT NULL)"
+    )
+    insert_parts(database, 100)
+    s.execute(
+        "CREATE TABLE suppliers (supplier_id INTEGER PRIMARY KEY, "
+        "supplier_name CHAR(24) NOT NULL, region CHAR(12) NOT NULL)"
+    )
+    for i in range(20):
+        s.execute(
+            f"INSERT INTO suppliers VALUES ({i}, 'Supplier {i}', 'R{i % 4}')"
+        )
+    return s
+
+
+class TestAccessPaths:
+    def test_pk_equality_uses_index(self, session):
+        result = session.execute("SELECT * FROM parts WHERE part_id = 7")
+        assert "index(pk_parts)" in result.plan
+        assert len(result.rows) == 1
+
+    def test_selective_range_uses_index(self, session):
+        result = session.execute("SELECT * FROM parts WHERE part_id < 3")
+        assert "index-range" in result.plan
+        assert len(result.rows) == 3
+
+    def test_wide_range_falls_back_to_scan(self, session):
+        result = session.execute("SELECT * FROM parts WHERE part_id < 90")
+        assert "scan" in result.plan and "index" not in result.plan
+        assert len(result.rows) == 90
+
+    def test_unindexed_predicate_scans(self, session):
+        result = session.execute("SELECT * FROM parts WHERE part_ref = 7")
+        assert "scan" in result.plan
+
+    def test_flipped_operands_still_use_index(self, session):
+        result = session.execute("SELECT * FROM parts WHERE 7 = part_id")
+        assert "index(pk_parts)" in result.plan
+
+    def test_residual_predicate_applied_after_index(self, session):
+        result = session.execute(
+            "SELECT * FROM parts WHERE part_id = 7 AND status = 'nonexistent'"
+        )
+        assert "index" in result.plan
+        assert result.rows == []
+
+
+class TestSelectFeatures:
+    def test_projection_names(self, session):
+        result = session.execute("SELECT part_id, price AS cost FROM parts LIMIT 1")
+        assert result.columns == ["part_id", "cost"]
+
+    def test_order_by_and_limit(self, session):
+        rows = session.query(
+            "SELECT part_id FROM parts ORDER BY part_id DESC LIMIT 3"
+        )
+        assert rows == [(99,), (98,), (97,)]
+
+    def test_order_by_expression_alias(self, session):
+        rows = session.query(
+            "SELECT part_id, price * 2 AS double_price FROM parts "
+            "ORDER BY double_price LIMIT 1"
+        )
+        assert len(rows) == 1
+
+    def test_aggregate_global(self, session):
+        assert session.scalar("SELECT COUNT(*) FROM parts") == 100
+
+    def test_aggregate_group_by(self, session):
+        rows = session.query(
+            "SELECT supplier_id, COUNT(*) FROM parts GROUP BY supplier_id"
+        )
+        assert sum(count for _sid, count in rows) == 100
+
+    def test_aggregate_functions(self, session):
+        rows = session.query(
+            "SELECT MIN(part_id), MAX(part_id), AVG(part_id) FROM parts"
+        )
+        low, high, average = rows[0]
+        assert (low, high) == (0, 99)
+        assert average == pytest.approx(49.5)
+
+    def test_aggregate_on_empty_input(self, session):
+        rows = session.query(
+            "SELECT COUNT(*), SUM(price) FROM parts WHERE part_id = -1"
+        )
+        assert rows == [(0, None)]
+
+    def test_non_grouped_column_rejected(self, session):
+        with pytest.raises(SqlAnalysisError, match="GROUP BY"):
+            session.execute("SELECT status, COUNT(*) FROM parts GROUP BY supplier_id")
+
+    def test_join(self, session):
+        rows = session.query(
+            "SELECT p.part_id, s.supplier_name FROM parts p "
+            "JOIN suppliers s ON p.supplier_id = s.supplier_id "
+            "WHERE p.part_id < 5"
+        )
+        assert len(rows) == 5
+        assert all(name.startswith("Supplier") for _id, name in rows)
+
+    def test_join_star_expansion(self, session):
+        rows = session.query(
+            "SELECT * FROM parts p JOIN suppliers s "
+            "ON p.supplier_id = s.supplier_id WHERE p.part_id = 1"
+        )
+        assert len(rows[0]) == 9 + 3
+
+    def test_constant_select(self, session):
+        assert session.scalar("SELECT 2 + 3") == 5
+
+
+class TestDml:
+    def test_update_rows_affected(self, session):
+        result = session.execute(
+            "UPDATE parts SET status = 'audited' WHERE part_ref < 10"
+        )
+        assert result.rows_affected == 10
+        assert session.scalar(
+            "SELECT COUNT(*) FROM parts WHERE status = 'audited'"
+        ) == 10
+
+    def test_update_expression_assignment(self, session):
+        before = session.scalar("SELECT price FROM parts WHERE part_id = 1")
+        session.execute("UPDATE parts SET price = price * 2 WHERE part_id = 1")
+        after = session.scalar("SELECT price FROM parts WHERE part_id = 1")
+        assert after == pytest.approx(before * 2)
+
+    def test_delete(self, session):
+        result = session.execute("DELETE FROM parts WHERE part_ref >= 90")
+        assert result.rows_affected == 10
+        assert session.scalar("SELECT COUNT(*) FROM parts") == 90
+
+    def test_insert_select(self, session):
+        session.execute(
+            "CREATE TABLE parts_copy (part_id INTEGER PRIMARY KEY, part_ref "
+            "INTEGER NOT NULL, part_no CHAR(12) NOT NULL, description CHAR(40), "
+            "status CHAR(10) NOT NULL, quantity INTEGER NOT NULL, price FLOAT "
+            "NOT NULL, last_modified TIMESTAMP, supplier_id INTEGER NOT NULL)"
+        )
+        result = session.execute(
+            "INSERT INTO parts_copy SELECT * FROM parts WHERE part_ref < 20"
+        )
+        assert result.rows_affected == 20
+
+    def test_insert_with_column_list_fills_nulls(self, session):
+        session.execute(
+            "INSERT INTO parts (part_id, part_ref, part_no, status, quantity, "
+            "price, supplier_id) VALUES (500, 500, 'PN-500', 'new', 1, 1.0, 0)"
+        )
+        row = session.query("SELECT description FROM parts WHERE part_id = 500")
+        assert row == [(None,)]
+
+    def test_update_via_index_path(self, session):
+        result = session.execute("UPDATE parts SET quantity = 0 WHERE part_id = 3")
+        assert "index" in result.plan
+        assert result.rows_affected == 1
+
+
+class TestDdl:
+    def test_create_drop_table(self, session):
+        session.execute("CREATE TABLE tiny (a INTEGER PRIMARY KEY, b CHAR(4))")
+        session.execute("INSERT INTO tiny VALUES (1, 'x')")
+        session.execute("DROP TABLE tiny")
+        with pytest.raises(Exception):
+            session.execute("SELECT * FROM tiny")
+
+    def test_truncate(self, session):
+        result = session.execute("TRUNCATE TABLE suppliers")
+        assert result.rows_affected == 20
+        assert session.scalar("SELECT COUNT(*) FROM suppliers") == 0
+
+    def test_create_index_statement(self, session):
+        session.execute("CREATE INDEX by_status ON parts (status) USING HASH")
+        assert "by_status" in session.database.table("parts").index_names

@@ -1,0 +1,137 @@
+"""Tests for expression evaluation (SQL three-valued logic)."""
+
+import pytest
+
+from repro.errors import SqlAnalysisError
+from repro.sql.expressions import (
+    evaluate,
+    is_true,
+    referenced_columns,
+    split_conjuncts,
+)
+from repro.sql.parser import parse_expression
+
+
+def ev(text, **env):
+    return evaluate(parse_expression(text), env)
+
+
+class TestComparisons:
+    def test_basic(self):
+        assert ev("1 < 2") is True
+        assert ev("2 <= 2") is True
+        assert ev("3 = 3") is True
+        assert ev("3 <> 4") is True
+        assert ev("3 != 4") is True
+
+    def test_strings(self):
+        assert ev("'abc' < 'abd'") is True
+        assert ev("name = 'x'", name="x") is True
+
+    def test_null_yields_unknown(self):
+        assert ev("a = 1", a=None) is None
+        assert ev("a < 1", a=None) is None
+
+    def test_mixed_types_rejected(self):
+        with pytest.raises(SqlAnalysisError):
+            ev("'a' < 1")
+
+
+class TestLogic:
+    def test_and_or(self):
+        assert ev("1 = 1 AND 2 = 2") is True
+        assert ev("1 = 2 OR 2 = 2") is True
+        assert ev("1 = 2 AND 2 = 2") is False
+
+    def test_kleene_and(self):
+        assert ev("a = 1 AND 1 = 1", a=None) is None
+        assert ev("a = 1 AND 1 = 2", a=None) is False
+
+    def test_kleene_or(self):
+        assert ev("a = 1 OR 1 = 1", a=None) is True
+        assert ev("a = 1 OR 1 = 2", a=None) is None
+
+    def test_not(self):
+        assert ev("NOT 1 = 2") is True
+        assert ev("NOT a = 1", a=None) is None
+
+    def test_is_true_strict(self):
+        assert is_true(True)
+        assert not is_true(None)
+        assert not is_true(1)
+
+
+class TestArithmetic:
+    def test_operations(self):
+        assert ev("2 + 3 * 4") == 14
+        assert ev("10 / 4") == 2.5
+        assert ev("-x", x=5) == -5
+
+    def test_null_propagates(self):
+        assert ev("a + 1", a=None) is None
+
+    def test_division_by_zero(self):
+        with pytest.raises(SqlAnalysisError):
+            ev("1 / 0")
+
+    def test_string_arithmetic_rejected(self):
+        with pytest.raises(SqlAnalysisError):
+            ev("'a' + 1")
+
+
+class TestPredicates:
+    def test_in_list(self):
+        assert ev("x IN (1, 2, 3)", x=2) is True
+        assert ev("x IN (1, 2, 3)", x=9) is False
+        assert ev("x NOT IN (1, 2)", x=9) is True
+
+    def test_in_with_null_member(self):
+        assert ev("x IN (1, NULL)", x=9) is None
+        assert ev("x IN (1, NULL)", x=1) is True
+
+    def test_between(self):
+        assert ev("x BETWEEN 1 AND 5", x=3) is True
+        assert ev("x BETWEEN 1 AND 5", x=6) is False
+        assert ev("x NOT BETWEEN 1 AND 5", x=6) is True
+
+    def test_like(self):
+        assert ev("s LIKE 'ab%'", s="abcdef") is True
+        assert ev("s LIKE 'a_c'", s="abc") is True
+        assert ev("s LIKE 'a_c'", s="abbc") is False
+        assert ev("s NOT LIKE 'z%'", s="abc") is True
+
+    def test_like_escapes_regex_chars(self):
+        assert ev("s LIKE 'a.c'", s="a.c") is True
+        assert ev("s LIKE 'a.c'", s="abc") is False
+
+    def test_is_null(self):
+        assert ev("a IS NULL", a=None) is True
+        assert ev("a IS NOT NULL", a=None) is False
+        assert ev("a IS NOT NULL", a=1) is True
+
+
+class TestEnvironment:
+    def test_unknown_column(self):
+        with pytest.raises(SqlAnalysisError, match="unknown column"):
+            ev("missing = 1")
+
+    def test_qualified_reference(self):
+        expr = parse_expression("t.col = 5")
+        assert evaluate(expr, {"t.col": 5}) is True
+
+
+class TestAnalysisHelpers:
+    def test_referenced_columns(self):
+        expr = parse_expression("a = 1 AND (b + c) > 2 OR d LIKE 'x'")
+        assert referenced_columns(expr) == {"a", "b", "c", "d"}
+
+    def test_split_conjuncts(self):
+        expr = parse_expression("a = 1 AND b = 2 AND c = 3")
+        assert len(split_conjuncts(expr)) == 3
+
+    def test_split_conjuncts_keeps_or_whole(self):
+        expr = parse_expression("a = 1 OR b = 2")
+        assert len(split_conjuncts(expr)) == 1
+
+    def test_split_none(self):
+        assert split_conjuncts(None) == []

@@ -1,0 +1,73 @@
+"""Tests for the SQL tokenizer."""
+
+import pytest
+
+from repro.errors import SqlSyntaxError
+from repro.sql.lexer import TokenKind, tokenize
+
+
+def kinds_and_texts(sql):
+    return [(t.kind, t.text) for t in tokenize(sql) if t.kind is not TokenKind.EOF]
+
+
+class TestTokenize:
+    def test_keywords_case_insensitive(self):
+        tokens = kinds_and_texts("select From WHERE")
+        assert tokens == [
+            (TokenKind.KEYWORD, "SELECT"),
+            (TokenKind.KEYWORD, "FROM"),
+            (TokenKind.KEYWORD, "WHERE"),
+        ]
+
+    def test_identifiers_preserve_case(self):
+        tokens = kinds_and_texts("MyTable my_col")
+        assert tokens == [
+            (TokenKind.IDENT, "MyTable"),
+            (TokenKind.IDENT, "my_col"),
+        ]
+
+    def test_integer_and_float_literals(self):
+        tokens = kinds_and_texts("42 3.14 .5 1e3 2.5E-2")
+        assert [k for k, _t in tokens] == [
+            TokenKind.INTEGER, TokenKind.FLOAT, TokenKind.FLOAT,
+            TokenKind.FLOAT, TokenKind.FLOAT,
+        ]
+
+    def test_string_literal(self):
+        tokens = kinds_and_texts("'hello world'")
+        assert tokens == [(TokenKind.STRING, "hello world")]
+
+    def test_string_quote_escaping(self):
+        tokens = kinds_and_texts("'it''s'")
+        assert tokens == [(TokenKind.STRING, "it's")]
+
+    def test_empty_string(self):
+        assert kinds_and_texts("''") == [(TokenKind.STRING, "")]
+
+    def test_unterminated_string(self):
+        with pytest.raises(SqlSyntaxError, match="unterminated"):
+            tokenize("'oops")
+
+    def test_two_char_operators(self):
+        tokens = kinds_and_texts("<= >= <> !=")
+        assert [t for _k, t in tokens] == ["<=", ">=", "<>", "!="]
+
+    def test_line_comments_skipped(self):
+        tokens = kinds_and_texts("SELECT -- a comment\n 1")
+        assert tokens == [(TokenKind.KEYWORD, "SELECT"), (TokenKind.INTEGER, "1")]
+
+    def test_minus_not_comment(self):
+        tokens = kinds_and_texts("1 - 2")
+        assert [t for _k, t in tokens] == ["1", "-", "2"]
+
+    def test_unexpected_character(self):
+        with pytest.raises(SqlSyntaxError, match="unexpected character"):
+            tokenize("SELECT @")
+
+    def test_eof_token_present(self):
+        assert tokenize("")[-1].kind is TokenKind.EOF
+
+    def test_positions_recorded(self):
+        tokens = tokenize("SELECT a")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 7

@@ -1,0 +1,159 @@
+"""Tests for the transport layer: network model, queue, shipper."""
+
+import pytest
+
+from repro.clock import VirtualClock
+from repro.errors import TransportError
+from repro.transport import FileShipper, NetworkModel, PersistentQueue
+
+
+@pytest.fixture
+def clock():
+    return VirtualClock()
+
+
+@pytest.fixture
+def network(clock):
+    return NetworkModel(clock)
+
+
+class TestNetworkModel:
+    def test_transfer_charges_latency_plus_payload(self, network, clock):
+        elapsed = network.transfer(1_000_000, "big")
+        assert elapsed > network.transfer(10, "small")
+        assert clock.now > 0
+
+    def test_transfer_records_kept(self, network):
+        network.transfer(100, "a")
+        network.transfer(200, "b")
+        assert network.bytes_moved == 300
+        assert [t.description for t in network.transfers] == ["a", "b"]
+
+    def test_negative_payload_rejected(self, network):
+        with pytest.raises(ValueError):
+            network.transfer(-1)
+
+    def test_round_trip(self, network, clock):
+        before = clock.now
+        network.round_trip()
+        assert clock.now > before
+
+
+class TestPersistentQueue:
+    def test_fifo_order(self, clock):
+        queue: PersistentQueue[str] = PersistentQueue(clock)
+        queue.enqueue("first", 10)
+        queue.enqueue("second", 10)
+        delivery, payload = queue.receive()
+        assert payload == "first"
+        queue.ack(delivery)
+        _delivery, payload = queue.receive()
+        assert payload == "second"
+
+    def test_ack_settles_message(self, clock):
+        queue: PersistentQueue[str] = PersistentQueue(clock)
+        queue.enqueue("m", 10)
+        delivery, _payload = queue.receive()
+        queue.ack(delivery)
+        assert queue.receive() is None
+        assert queue.acknowledged == 1
+
+    def test_nack_requeues_at_front(self, clock):
+        queue: PersistentQueue[str] = PersistentQueue(clock)
+        queue.enqueue("a", 10)
+        queue.enqueue("b", 10)
+        delivery, payload = queue.receive()
+        queue.nack(delivery)
+        _delivery2, payload2 = queue.receive()
+        assert payload == payload2 == "a"
+
+    def test_consumer_crash_redelivers_in_flight(self, clock):
+        queue: PersistentQueue[str] = PersistentQueue(clock)
+        for name in ("a", "b", "c"):
+            queue.enqueue(name, 10)
+        queue.receive()
+        queue.receive()
+        assert queue.in_flight == 2
+        assert queue.recover() == 2
+        # At-least-once: everything is deliverable again, order restored.
+        payloads = []
+        while (message := queue.receive()) is not None:
+            payloads.append(message[1])
+            queue.ack(message[0])
+        assert payloads == ["a", "b", "c"]
+
+    def test_double_ack_rejected(self, clock):
+        queue: PersistentQueue[str] = PersistentQueue(clock)
+        queue.enqueue("m", 10)
+        delivery, _payload = queue.receive()
+        queue.ack(delivery)
+        with pytest.raises(TransportError):
+            queue.ack(delivery)
+
+    def test_enqueue_charges_durability(self, clock):
+        queue: PersistentQueue[str] = PersistentQueue(clock)
+        before = clock.now
+        queue.enqueue("m", 1_000)
+        assert clock.now > before
+
+    def test_receive_empty(self, clock):
+        queue: PersistentQueue[str] = PersistentQueue(clock)
+        assert queue.receive() is None
+
+    def test_negative_size_rejected(self, clock):
+        queue: PersistentQueue[str] = PersistentQueue(clock)
+        with pytest.raises(TransportError):
+            queue.enqueue("m", -5)
+
+
+class TestFileShipper:
+    def test_ships_every_artifact_kind(self, clock, network):
+        from repro.core import FileLogStore, OpDeltaCapture
+        from repro.engine import Database, export_table, take_snapshot
+        from repro.engine.utilities import ascii_dump_table
+        from repro.extraction import LogExtractor, TriggerExtractor
+        from repro.workloads import OltpWorkload
+
+        database = Database("ship-src", clock=clock, archive_mode=True)
+        workload = OltpWorkload(database)
+        workload.create_table()
+        workload.populate(50)
+
+        store = FileLogStore(database)
+        OpDeltaCapture(workload.session, store, tables={"parts"}).attach()
+        triggers = TriggerExtractor(database, "parts")
+        triggers.install()
+        workload.run_update(10)
+
+        shipper = FileShipper(network)
+        assert shipper.ship_ascii(ascii_dump_table(database, "parts")) > 0
+        assert shipper.ship_export(export_table(database, "parts")) > 0
+        assert shipper.ship_snapshot(take_snapshot(database, "parts")) > 0
+        assert shipper.ship_value_deltas(triggers.drain_to_batch()) > 0
+        assert shipper.ship_op_deltas(store.drain()) > 0
+        outcome = LogExtractor(database, tables={"parts"}).extract()
+        assert shipper.ship_log_segments(outcome.segments) > 0
+        assert len(network.transfers) == 6
+
+    def test_op_delta_payload_far_smaller_than_value_delta(self, clock, network):
+        """§4.1: Op-Delta 'minimizes the volume of data transported'."""
+        from repro.core import FileLogStore, OpDeltaCapture
+        from repro.engine import Database
+        from repro.extraction import TriggerExtractor
+        from repro.workloads import OltpWorkload
+
+        database = Database("vol-src", clock=clock)
+        workload = OltpWorkload(database)
+        workload.create_table()
+        workload.populate(2_000)
+        store = FileLogStore(database)
+        OpDeltaCapture(workload.session, store, tables={"parts"}).attach()
+        triggers = TriggerExtractor(database, "parts")
+        triggers.install()
+        workload.run_update(1_000)
+
+        shipper = FileShipper(network)
+        shipper.ship_value_deltas(triggers.drain_to_batch())
+        shipper.ship_op_deltas(store.drain())
+        value_bytes, op_bytes = [t.payload_bytes for t in network.transfers]
+        assert op_bytes * 100 < value_bytes

@@ -1,0 +1,154 @@
+"""Tests for the value-delta and Op-Delta integrators."""
+
+import pytest
+
+from repro.core import FileLogStore, OpDeltaCapture
+from repro.engine import Database
+from repro.errors import WarehouseError
+from repro.extraction import TriggerExtractor
+from repro.extraction.deltas import ChangeKind, DeltaBatch, DeltaRecord
+from repro.warehouse import OpDeltaIntegrator, ValueDeltaIntegrator, Warehouse
+from repro.workloads import OltpWorkload, parts_schema, strip_timestamp
+
+
+@pytest.fixture
+def pipeline():
+    source = Database("int-src")
+    workload = OltpWorkload(source)
+    workload.create_table()
+    workload.populate(300)
+    store = FileLogStore(source)
+    OpDeltaCapture(workload.session, store, tables={"parts"}).attach()
+    triggers = TriggerExtractor(source, "parts")
+    triggers.install()
+    warehouse = Warehouse(clock=source.clock)
+    warehouse.create_mirror(parts_schema())
+    warehouse.initial_load_rows(
+        "parts", (v for _r, v in source.table("parts").scan())
+    )
+    return source, workload, store, triggers, warehouse
+
+
+def logical(database):
+    return strip_timestamp(
+        parts_schema(), (v for _r, v in database.table("parts").scan())
+    )
+
+
+class TestValueDeltaIntegrator:
+    def test_batch_converges_mirror(self, pipeline):
+        source, workload, _store, triggers, warehouse = pipeline
+        workload.run_update(30)
+        workload.run_insert(10)
+        workload.run_delete(15, top_up=False)
+        batch = triggers.drain_to_batch()
+        integrator = ValueDeltaIntegrator(warehouse.database.internal_session())
+        report = integrator.integrate(batch)
+        assert report.mode == "value-delta"
+        assert logical(warehouse.database) == logical(source)
+
+    def test_indivisible_batch_is_one_txn(self, pipeline):
+        source, workload, _store, triggers, warehouse = pipeline
+        workload.run_update(5)
+        workload.run_update(5)
+        batch = triggers.drain_to_batch()
+        integrator = ValueDeltaIntegrator(warehouse.database.internal_session())
+        commits_before = warehouse.database.transactions.commits
+        integrator.integrate(batch)
+        assert warehouse.database.transactions.commits == commits_before + 1
+
+    def test_statement_blowup_for_updates(self, pipeline):
+        """x-row update -> x deletes + x inserts (§4.1)."""
+        _source, workload, _store, triggers, warehouse = pipeline
+        workload.run_update(20)
+        batch = triggers.drain_to_batch()
+        integrator = ValueDeltaIntegrator(warehouse.database.internal_session())
+        report = integrator.integrate(batch)
+        assert report.statements_issued == 40
+
+    def test_insert_run_collapses_to_one_statement(self, pipeline):
+        _source, workload, _store, triggers, warehouse = pipeline
+        workload.run_insert(20)
+        batch = triggers.drain_to_batch()
+        integrator = ValueDeltaIntegrator(warehouse.database.internal_session())
+        report = integrator.integrate(batch)
+        assert report.statements_issued == 1
+
+    def test_table_mapping(self, pipeline):
+        source, workload, _store, triggers, warehouse = pipeline
+        warehouse.database.create_table(parts_schema("parts_mapped"))
+        workload.run_insert(5)
+        batch = triggers.drain_to_batch()
+        integrator = ValueDeltaIntegrator(
+            warehouse.database.internal_session(),
+            table_map={"parts": "parts_mapped"},
+        )
+        integrator.integrate(batch)
+        assert warehouse.database.table("parts_mapped").num_rows == 5
+
+    def test_requires_primary_key(self, pipeline):
+        _source, _workload, _store, _triggers, warehouse = pipeline
+        from repro.engine.schema import TableSchema
+
+        schema = parts_schema()
+        no_pk = TableSchema("parts", schema.columns, primary_key=None)
+        batch = DeltaBatch("parts", no_pk)
+        integrator = ValueDeltaIntegrator(warehouse.database.internal_session())
+        batch.append(
+            DeltaRecord(ChangeKind.DELETE, 1, before=(1,) * len(schema.columns))
+        )
+        with pytest.raises(WarehouseError, match="primary key"):
+            integrator.integrate(batch)
+
+    def test_upsert_batch_from_timestamp_extraction(self, pipeline):
+        source, workload, _store, _triggers, warehouse = pipeline
+        from repro.extraction import TimestampExtractor
+
+        cutoff = source.clock.timestamp()
+        workload.run_update(10)
+        batch = TimestampExtractor(source, "parts").extract_deltas(cutoff)
+        integrator = ValueDeltaIntegrator(warehouse.database.internal_session())
+        integrator.integrate(batch)
+        assert logical(warehouse.database) == logical(source)
+
+
+class TestOpDeltaIntegrator:
+    def test_converges_and_preserves_boundaries(self, pipeline):
+        source, workload, store, _triggers, warehouse = pipeline
+        workload.run_update(10)
+        workload.run_insert(5)
+        groups = store.drain()
+        integrator = OpDeltaIntegrator(warehouse.database.internal_session())
+        commits_before = warehouse.database.transactions.commits
+        report = integrator.integrate(groups)
+        assert report.transactions == 2
+        assert warehouse.database.transactions.commits == commits_before + 2
+        assert logical(warehouse.database) == logical(source)
+
+    def test_per_transaction_timings_recorded(self, pipeline):
+        _source, workload, store, _triggers, warehouse = pipeline
+        workload.run_update(10)
+        workload.run_update(250)
+        integrator = OpDeltaIntegrator(warehouse.database.internal_session())
+        report = integrator.integrate(store.drain())
+        small, large = report.per_transaction_ms
+        assert large > small
+
+    def test_update_cheaper_than_value_delta(self, pipeline):
+        source, workload, store, triggers, warehouse = pipeline
+        workload.run_update(250)
+        batch = triggers.drain_to_batch()
+        groups = store.drain()
+
+        value_wh = Warehouse("twin", clock=source.clock)
+        value_wh.create_mirror(parts_schema())
+        value_wh.initial_load_rows(
+            "parts", (v for _r, v in warehouse.database.table("parts").scan())
+        )
+        value_report = ValueDeltaIntegrator(
+            value_wh.database.internal_session()
+        ).integrate(batch)
+        op_report = OpDeltaIntegrator(
+            warehouse.database.internal_session()
+        ).integrate(groups)
+        assert op_report.elapsed_ms < value_report.elapsed_ms

@@ -1,0 +1,132 @@
+"""Tests for the warehouse facade and the OLAP query set."""
+
+import pytest
+
+from repro.engine import Database
+from repro.engine.utilities import ascii_dump_table
+from repro.errors import WarehouseError
+from repro.warehouse import Warehouse, measure_mix_cost, standard_queries
+from repro.warehouse.olap import measure_query_cost
+from repro.workloads import (
+    OltpWorkload,
+    PartsGenerator,
+    fixed_cadence_stream,
+    measured_service_times,
+    parts_schema,
+    suppliers_schema,
+)
+
+
+@pytest.fixture
+def loaded_warehouse():
+    source = Database("olap-src")
+    workload = OltpWorkload(source)
+    workload.create_table()
+    workload.populate(400)
+    warehouse = Warehouse(clock=source.clock)
+    warehouse.create_mirror(parts_schema())
+    warehouse.initial_load_rows(
+        "parts", (v for _r, v in source.table("parts").scan())
+    )
+    dim = warehouse.database.create_table(suppliers_schema())
+    txn = warehouse.database.begin()
+    for row in PartsGenerator().supplier_rows():
+        dim.insert(txn, row)
+    warehouse.database.commit(txn)
+    return source, warehouse
+
+
+class TestWarehouseFacade:
+    def test_mirror_map(self, loaded_warehouse):
+        _source, warehouse = loaded_warehouse
+        assert warehouse.mirror_of("parts") == "parts"
+        with pytest.raises(WarehouseError):
+            warehouse.mirror_of("unknown")
+
+    def test_mirror_rename(self):
+        warehouse = Warehouse()
+        name = warehouse.create_mirror(parts_schema(), mirror_name="dw_parts")
+        assert name == "dw_parts"
+        assert warehouse.mirror_of("parts") == "dw_parts"
+
+    def test_initial_load_via_loader(self, loaded_warehouse):
+        source, _warehouse = loaded_warehouse
+        dump = ascii_dump_table(source, "parts")
+        fresh = Warehouse("fresh", clock=source.clock)
+        fresh.create_mirror(parts_schema())
+        assert fresh.initial_load(
+            fresh.mirror_of("parts"), dump
+        ) == 400
+
+    def test_view_registry(self, loaded_warehouse):
+        from repro.core import ViewDefinition
+
+        _source, warehouse = loaded_warehouse
+        definition = ViewDefinition(
+            "v", "parts", columns=("part_id", "status"), key_column="part_id",
+            base_columns=parts_schema().column_names,
+        )
+        view = warehouse.define_view(definition, parts_schema())
+        assert warehouse.view("v") is view
+        assert warehouse.views == [view]
+        with pytest.raises(WarehouseError):
+            warehouse.view("nope")
+
+
+class TestOlapQueries:
+    def test_standard_mix_runs(self, loaded_warehouse):
+        _source, warehouse = loaded_warehouse
+        queries = standard_queries(
+            "parts", measure_column="price", group_column="supplier_id",
+            filter_column="status", filter_value="revised",
+            dimension_table="suppliers", dimension_key="supplier_id",
+            fact_foreign_key="supplier_id",
+        )
+        assert len(queries) == 4
+        session = warehouse.database.internal_session()
+        costs = measure_mix_cost(warehouse.database, session, queries)
+        assert set(costs) == {
+            "total_measure", "by_group", "filtered", "dimension_join",
+        }
+        assert all(cost > 0 for cost in costs.values())
+
+    def test_dimension_query_needs_keys(self):
+        with pytest.raises(WarehouseError):
+            standard_queries(
+                "parts", "price", "supplier_id", "status", "x",
+                dimension_table="suppliers",
+            )
+
+    def test_query_cost_measured_on_engine(self, loaded_warehouse):
+        _source, warehouse = loaded_warehouse
+        queries = standard_queries(
+            "parts", "price", "supplier_id", "status", "revised"
+        )
+        session = warehouse.database.internal_session()
+        cost = measure_query_cost(warehouse.database, session, queries[0])
+        assert cost > 0
+
+
+class TestQueryStreams:
+    def test_fixed_cadence_deterministic(self, loaded_warehouse):
+        _source, warehouse = loaded_warehouse
+        queries = standard_queries(
+            "parts", "price", "supplier_id", "status", "revised"
+        )
+        first = fixed_cadence_stream(queries, 100.0, 1_000.0, seed=3)
+        second = fixed_cadence_stream(queries, 100.0, 1_000.0, seed=3)
+        assert [(s.arrival_ms, s.query.name) for s in first] == [
+            (s.arrival_ms, s.query.name) for s in second
+        ]
+        assert len(first) == 11
+
+    def test_measured_service_times(self, loaded_warehouse):
+        _source, warehouse = loaded_warehouse
+        queries = standard_queries(
+            "parts", "price", "supplier_id", "status", "revised"
+        )
+        session = warehouse.database.internal_session()
+        costs = measured_service_times(
+            warehouse.database, session, queries, repeats=2
+        )
+        assert all(value > 0 for value in costs.values())
