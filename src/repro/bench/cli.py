@@ -4,14 +4,19 @@ Examples::
 
     repro-bench --list
     repro-bench table4
-    repro-bench all
+    repro-bench all --metrics
+    repro-bench table2 --trace trace.json --json results.json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
+from ..obs.context import observe
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracing import Tracer
 from .experiments import REGISTRY
 from .report import render
 
@@ -32,9 +37,33 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--list", action="store_true", help="list available experiments"
     )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="collect engine/extraction/transport/warehouse metrics during "
+        "each experiment and print a cost breakdown after its table",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="record virtual-time spans and write a Chrome-trace JSON file "
+        "('-' for stdout); open it at chrome://tracing or ui.perfetto.dev",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="FILE",
+        help="dump raw results as JSON to FILE ('-' for stdout) in addition "
+        "to the rendered tables",
+    )
     args = parser.parse_args(argv)
 
     if args.list or not args.experiments:
+        if not args.list:
+            print(
+                "repro-bench: no experiments given; listing the available "
+                "ids (run `repro-bench all` or `repro-bench --help`)",
+                file=sys.stderr,
+            )
         for name in REGISTRY:
             print(name)
         return 0
@@ -45,18 +74,65 @@ def main(argv: list[str] | None = None) -> int:
         print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
         print(f"available: {', '.join(REGISTRY)}", file=sys.stderr)
         return 2
+    if args.trace == "-" and args.json == "-":
+        print(
+            "only one of --trace/--json may write to stdout ('-')",
+            file=sys.stderr,
+        )
+        return 2
+    # With a '-' destination, stdout carries that JSON document alone (so it
+    # can be piped into jq etc.) and the rendered tables move to stderr.
+    report = sys.stderr if "-" in (args.trace, args.json) else sys.stdout
 
+    observing = args.metrics or args.trace is not None
+    trace_events: list[dict] = []
+    results = []
     failed = []
-    for name in wanted:
-        result = REGISTRY[name]()
-        print(render(result))
-        print()
+    for position, name in enumerate(wanted, start=1):
+        if observing:
+            registry = MetricsRegistry()
+            tracer = Tracer()
+            with observe(metrics=registry, tracer=tracer):
+                result = REGISTRY[name]()
+            if args.metrics:
+                result.metrics = registry.snapshot()
+            if args.trace is not None:
+                trace_events.extend(
+                    tracer.chrome_trace_events(pid=position, process_name=name)
+                )
+        else:
+            result = REGISTRY[name]()
+        results.append(result)
+        print(render(result), file=report)
+        print(file=report)
         if not result.all_checks_pass:
             failed.append(name)
+
+    try:
+        if args.trace is not None:
+            _write(
+                args.trace,
+                {"traceEvents": trace_events, "displayTimeUnit": "ms"},
+            )
+        if args.json is not None:
+            _write(args.json, [result.to_dict() for result in results])
+    except OSError as exc:
+        print(f"repro-bench: cannot write {exc.filename}: {exc.strerror}", file=sys.stderr)
+        return 1
+
     if failed:
         print(f"shape checks FAILED for: {', '.join(failed)}", file=sys.stderr)
         return 1
     return 0
+
+
+def _write(destination: str, payload: object) -> None:
+    text = json.dumps(payload, indent=2, sort_keys=False, default=str)
+    if destination == "-":
+        print(text)
+    else:
+        with open(destination, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -36,6 +36,9 @@ class ExperimentResult:
     notes: list[str] = field(default_factory=list)
     #: Shape assertions: name -> bool.  All must hold for "reproduced".
     checks: dict[str, bool] = field(default_factory=dict)
+    #: Metrics snapshot (:meth:`repro.obs.MetricsRegistry.snapshot`) taken
+    #: after the run, when the harness was invoked with ``--metrics``.
+    metrics: dict[str, Any] | None = None
 
     @property
     def all_checks_pass(self) -> bool:
@@ -45,7 +48,7 @@ class ExperimentResult:
         self.checks[name] = bool(condition)
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        out = {
             "experiment_id": self.experiment_id,
             "title": self.title,
             "parameters": self.parameters,
@@ -57,6 +60,9 @@ class ExperimentResult:
             "checks": self.checks,
             "notes": self.notes,
         }
+        if self.metrics is not None:
+            out["metrics"] = self.metrics
+        return out
 
 
 def _format_value(value: float, unit: str) -> str:
@@ -109,6 +115,63 @@ def render(result: ExperimentResult) -> str:
             out.append(f"  [{'PASS' if passed else 'FAIL'}] {name}")
     for note in result.notes:
         out.append(f"note: {note}")
+    if result.metrics is not None:
+        out.append("")
+        out.append(render_cost_breakdown(result.metrics))
+    return "\n".join(out)
+
+
+def _subsystem(qualified_name: str) -> str:
+    """`engine.buffer.hit{db=src}` -> `engine`."""
+    return qualified_name.split(".", 1)[0]
+
+
+def _format_count(value: float) -> str:
+    if value == int(value):
+        return f"{int(value):,}"
+    return f"{value:,.2f}"
+
+
+def render_cost_breakdown(snapshot: dict[str, Any]) -> str:
+    """Render a metrics snapshot grouped by subsystem.
+
+    The breakdown answers the paper's cost questions at a glance: how many
+    buffer-pool misses and disk reads an extraction paid, how many rows it
+    scanned versus emitted, what the transport and maintenance layers added.
+    """
+    out = ["cost breakdown:"]
+    counters: dict[str, float] = snapshot.get("counters", {})
+    gauges: dict[str, dict[str, float]] = snapshot.get("gauges", {})
+    histograms: dict[str, dict[str, float]] = snapshot.get("histograms", {})
+    subsystems = sorted(
+        {_subsystem(name) for name in (*counters, *gauges, *histograms)}
+    )
+    if not subsystems:
+        out.append("  (no metrics recorded)")
+        return "\n".join(out)
+    for subsystem in subsystems:
+        out.append(f"  {subsystem}:")
+        for name in sorted(counters):
+            if _subsystem(name) == subsystem:
+                out.append(f"    {name} = {_format_count(counters[name])}")
+        for name in sorted(gauges):
+            if _subsystem(name) == subsystem:
+                value = gauges[name]
+                out.append(
+                    f"    {name} = {_format_count(value['value'])} "
+                    f"(high water {_format_count(value['high_water'])})"
+                )
+        for name in sorted(histograms):
+            if _subsystem(name) == subsystem:
+                h = histograms[name]
+                if h["count"]:
+                    out.append(
+                        f"    {name}: n={_format_count(h['count'])} "
+                        f"mean={h['mean']:.3f} p95={h['p95']:.3f} "
+                        f"max={h['max']:.3f}"
+                    )
+                else:
+                    out.append(f"    {name}: n=0")
     return "\n".join(out)
 
 

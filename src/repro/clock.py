@@ -14,6 +14,11 @@ idiomatic way to measure the cost of a region of code::
     with clock.stopwatch() as watch:
         table.insert(row)
     elapsed_ms = watch.elapsed
+
+When the measurement should be *kept* rather than consumed on the spot,
+use a :class:`repro.obs.Tracer` span instead — spans are stamped from this
+same clock, nest hierarchically, and export to Chrome-trace JSON, so a
+whole experiment's cost breakdown stays attributable after the fact.
 """
 
 from __future__ import annotations

@@ -68,6 +68,10 @@ class OpDeltaCapture:
         # An internal session for before-image reads: same database, no
         # capture hooks (the wrapper's own reads must not be captured).
         self._reader = session.database.internal_session()
+        metrics = session.database.metrics
+        self._m_statements = metrics.counter("capture.opdelta.statements")
+        self._m_before_images = metrics.counter("capture.opdelta.before_images")
+        self._m_overhead = metrics.counter("capture.opdelta.overhead_ms")
 
     # ------------------------------------------------------------------ wiring
     def attach(self) -> None:
@@ -97,6 +101,7 @@ class OpDeltaCapture:
     def _on_statement(
         self, statement: ast.Statement, sql_text: str, session: Session
     ) -> None:
+        capture_started = session.database.clock.now
         kind, table = classify_statement(statement)
         if self._tables is not None and table not in self._tables:
             return
@@ -122,6 +127,10 @@ class OpDeltaCapture:
         )
         self.store.record(op, txn)
         self.operations_captured += 1
+        self._m_statements.inc()
+        # Virtual time the wrapper added to the user's statement — the
+        # store write plus any before-image read (Figure 3's overhead).
+        self._m_overhead.inc(session.database.clock.now - capture_started)
 
     def _fetch_before_image(
         self, statement: ast.Statement, table: str, kind: OpKind
@@ -139,6 +148,7 @@ class OpDeltaCapture:
         )
         result = self._reader.execute_statement(select)
         self.before_images_captured += 1
+        self._m_before_images.inc()
         return [tuple(row) for row in result.rows]
 
     def _on_commit(self, txn: Transaction) -> None:

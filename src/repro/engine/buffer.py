@@ -12,6 +12,7 @@ from __future__ import annotations
 from collections import OrderedDict
 
 from ..clock import VirtualClock
+from ..obs.metrics import MetricsLike, MetricsRegistry
 from .costs import CostModel
 from .disk import DiskManager
 from .page import Page
@@ -30,6 +31,7 @@ class BufferPool:
         clock: VirtualClock,
         costs: CostModel,
         capacity: int = DEFAULT_POOL_PAGES,
+        metrics: MetricsLike | None = None,
     ) -> None:
         if capacity < 2:
             raise ValueError(f"buffer pool needs at least 2 pages, got {capacity}")
@@ -39,9 +41,26 @@ class BufferPool:
         self.capacity = capacity
         self._frames: OrderedDict[int, Page] = OrderedDict()
         self._dirty: set[int] = set()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        if metrics is None:
+            metrics = MetricsRegistry()
+        self._m_hits = metrics.counter("engine.buffer.hit")
+        self._m_misses = metrics.counter("engine.buffer.miss")
+        self._m_evictions = metrics.counter("engine.buffer.eviction")
+
+    # ------------------------------------------------------------------ stats
+    # Read-through views of the registry counters, preserving the pre-obs
+    # ad-hoc attribute API (``pool.hits`` etc.).
+    @property
+    def hits(self) -> int:
+        return int(self._m_hits.value)
+
+    @property
+    def misses(self) -> int:
+        return int(self._m_misses.value)
+
+    @property
+    def evictions(self) -> int:
+        return int(self._m_evictions.value)
 
     # ------------------------------------------------------------------ fetch
     def fetch(self, page_no: int) -> Page:
@@ -49,10 +68,10 @@ class BufferPool:
         page = self._frames.get(page_no)
         if page is not None:
             self._frames.move_to_end(page_no)
-            self.hits += 1
+            self._m_hits.inc()
             self._clock.advance(self._costs.page_read_hit)
             return page
-        self.misses += 1
+        self._m_misses.inc()
         data = self._disk.read_page(page_no)
         page = Page.from_bytes(data)
         self._admit(page_no, page)
@@ -98,7 +117,7 @@ class BufferPool:
     def _admit(self, page_no: int, page: Page) -> None:
         while len(self._frames) >= self.capacity:
             victim_no, victim = self._frames.popitem(last=False)
-            self.evictions += 1
+            self._m_evictions.inc()
             if victim_no in self._dirty:
                 self._disk.write_page(victim_no, victim.to_bytes())
                 self._dirty.discard(victim_no)

@@ -12,6 +12,9 @@ from typing import TYPE_CHECKING, Iterator
 
 from ..clock import VirtualClock
 from ..errors import CatalogError
+from ..obs.context import ambient_metrics, ambient_tracer
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracing import NULL_TRACER, Tracer
 from .buffer import DEFAULT_POOL_PAGES, BufferPool
 from .costs import DEFAULT_COST_MODEL, CostModel
 from .disk import DiskManager
@@ -43,6 +46,17 @@ class Database:
         enforce product/version compatibility with these tags.
     archive_mode:
         Retain closed WAL segments for log-based extraction (§3.1.4).
+    metrics:
+        Shared :class:`~repro.obs.MetricsRegistry`.  Defaults to the
+        ambient registry installed by :func:`repro.obs.observe` when one
+        is active, else a private registry; every engine instrument is
+        labelled ``db=<name>`` so several instances can share a registry.
+        Pass :data:`repro.obs.NULL_REGISTRY` to opt out entirely (the
+        read-through stat properties then read zero).
+    tracer:
+        Shared :class:`~repro.obs.Tracer`; same ambient-default rule, but
+        the fallback is the no-op tracer.  ``self.tracer`` is the tracer
+        bound to this instance's clock.
     """
 
     def __init__(
@@ -54,18 +68,35 @@ class Database:
         product: str = "ReproDB",
         product_version: str = "1.0",
         archive_mode: bool = False,
+        metrics: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.name = name
         self.clock = clock if clock is not None else VirtualClock()
         self.costs = costs
         self.product = product
         self.product_version = product_version
-        self.disk = DiskManager(self.clock, costs)
-        self.buffer_pool = BufferPool(self.disk, self.clock, costs, buffer_pages)
-        self.log = LogManager(
-            self.clock, costs, product, product_version, archive_mode
+        if metrics is None:
+            metrics = ambient_metrics()
+        if metrics is None:
+            metrics = MetricsRegistry()
+        self.metrics = metrics
+        if tracer is None:
+            tracer = ambient_tracer()
+        if tracer is None:
+            tracer = NULL_TRACER
+        self.tracer = tracer.bound(self.clock)
+        scoped = metrics.labelled(db=name)
+        self._scoped_metrics = scoped
+        self.disk = DiskManager(self.clock, costs, metrics=scoped)
+        self.buffer_pool = BufferPool(
+            self.disk, self.clock, costs, buffer_pages, metrics=scoped
         )
-        self.transactions = TransactionManager(self.log)
+        self.log = LogManager(
+            self.clock, costs, product, product_version, archive_mode,
+            metrics=scoped,
+        )
+        self.transactions = TransactionManager(self.log, metrics=scoped)
         self._tables: dict[str, Table] = {}
 
     # ----------------------------------------------------------------- catalog
@@ -77,7 +108,7 @@ class Database:
             raise CatalogError(f"table {schema.name!r} already exists in {self.name!r}")
         table = Table(
             schema, self.buffer_pool, self.log, self.clock, self.costs,
-            auto_timestamp=auto_timestamp,
+            auto_timestamp=auto_timestamp, metrics=self._scoped_metrics,
         )
         if schema.primary_key is not None:
             table.create_index(
@@ -119,8 +150,9 @@ class Database:
 
     def checkpoint(self) -> None:
         """Flush dirty pages and close the active WAL segment."""
-        self.buffer_pool.flush_all()
-        self.log.checkpoint()
+        with self.tracer.span("engine.database.checkpoint", db=self.name):
+            self.buffer_pool.flush_all()
+            self.log.checkpoint()
 
     # -------------------------------------------------------------- connections
     def connect(self) -> "Session":

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from ..clock import VirtualClock
 from ..errors import StorageError
+from ..obs.metrics import MetricsLike, MetricsRegistry
 from .costs import CostModel
 
 #: Page size in bytes; matches the common commercial default of the era.
@@ -23,13 +24,28 @@ class DiskManager:
     ``sequential=True`` to model their streaming access pattern.
     """
 
-    def __init__(self, clock: VirtualClock, costs: CostModel) -> None:
+    def __init__(
+        self,
+        clock: VirtualClock,
+        costs: CostModel,
+        metrics: MetricsLike | None = None,
+    ) -> None:
         self._clock = clock
         self._costs = costs
         self._pages: dict[int, bytes] = {}
         self._next_page_no = 0
-        self.reads = 0
-        self.writes = 0
+        if metrics is None:
+            metrics = MetricsRegistry()
+        self._m_reads = metrics.counter("engine.disk.read")
+        self._m_writes = metrics.counter("engine.disk.write")
+
+    @property
+    def reads(self) -> int:
+        return int(self._m_reads.value)
+
+    @property
+    def writes(self) -> int:
+        return int(self._m_writes.value)
 
     @property
     def num_pages(self) -> int:
@@ -48,7 +64,7 @@ class DiskManager:
             data = self._pages[page_no]
         except KeyError:
             raise StorageError(f"read of unallocated page {page_no}") from None
-        self.reads += 1
+        self._m_reads.inc()
         cost = self._costs.seq_page_read if sequential else self._costs.page_read_miss
         self._clock.advance(cost)
         return data
@@ -62,7 +78,7 @@ class DiskManager:
                 f"page write must be exactly {PAGE_SIZE} bytes, got {len(data)}"
             )
         self._pages[page_no] = bytes(data)
-        self.writes += 1
+        self._m_writes.inc()
         cost = self._costs.seq_page_write if sequential else self._costs.page_write
         self._clock.advance(cost)
 

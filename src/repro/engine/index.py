@@ -15,6 +15,7 @@ from typing import Any, Iterator
 
 from ..clock import VirtualClock
 from ..errors import ConstraintError, StorageError
+from ..obs.metrics import MetricsLike, MetricsRegistry
 from .costs import CostModel
 from .rows import RowId
 
@@ -32,6 +33,7 @@ class Index(ABC):
         clock: VirtualClock,
         costs: CostModel,
         unique: bool = False,
+        metrics: MetricsLike | None = None,
     ) -> None:
         self.name = name
         self.column = column
@@ -39,6 +41,15 @@ class Index(ABC):
         self._clock = clock
         self._costs = costs
         self._num_entries = 0
+        if metrics is None:
+            metrics = MetricsRegistry()
+        self._metrics = metrics
+        self._m_probes = metrics.counter("engine.index.probe")
+
+    @property
+    def probes(self) -> int:
+        """How many times this index was probed (lookups + range scans)."""
+        return int(self._m_probes.value)
 
     @property
     def num_entries(self) -> int:
@@ -63,6 +74,7 @@ class Index(ABC):
     def lookup(self, key: Any) -> list[RowId]:
         """Return the RowIds for ``key`` (empty list if absent)."""
         matches = self._lookup(key)
+        self._m_probes.inc()
         self._clock.advance(self._costs.index_lookup * max(1, len(matches)))
         return matches
 
@@ -96,8 +108,9 @@ class HashIndex(Index):
     supports_range = False
 
     def __init__(self, name: str, column: str, clock: VirtualClock,
-                 costs: CostModel, unique: bool = False) -> None:
-        super().__init__(name, column, clock, costs, unique)
+                 costs: CostModel, unique: bool = False,
+                 metrics: MetricsLike | None = None) -> None:
+        super().__init__(name, column, clock, costs, unique, metrics)
         self._buckets: dict[Any, list[RowId]] = {}
 
     def _insert(self, key: Any, row_id: RowId) -> None:
@@ -126,8 +139,9 @@ class BTreeIndex(Index):
     supports_range = True
 
     def __init__(self, name: str, column: str, clock: VirtualClock,
-                 costs: CostModel, unique: bool = False) -> None:
-        super().__init__(name, column, clock, costs, unique)
+                 costs: CostModel, unique: bool = False,
+                 metrics: MetricsLike | None = None) -> None:
+        super().__init__(name, column, clock, costs, unique, metrics)
         self._keys: list[Any] = []
         self._row_ids: list[RowId] = []
 
@@ -193,6 +207,7 @@ class BTreeIndex(Index):
                 self._keys, high
             )
         count = max(0, stop - start)
+        self._m_probes.inc()
         self._clock.advance(self._costs.index_lookup * max(1, count))
         for position in range(start, stop):
             yield self._row_ids[position]

@@ -19,6 +19,7 @@ from typing import Any, Iterable, Iterator, Mapping, Sequence
 
 from ..clock import VirtualClock
 from ..errors import CatalogError, ConstraintError, SchemaError
+from ..obs.metrics import MetricsLike, MetricsRegistry
 from .buffer import BufferPool
 from .costs import CostModel
 from .heap import HeapFile
@@ -54,6 +55,7 @@ class Table:
         clock: VirtualClock,
         costs: CostModel,
         auto_timestamp: bool = False,
+        metrics: MetricsLike | None = None,
     ) -> None:
         self.schema = schema
         self.name = schema.name
@@ -61,6 +63,10 @@ class Table:
         self._log = log
         self._clock = clock
         self._costs = costs
+        if metrics is None:
+            metrics = MetricsRegistry()
+        self._metrics = metrics
+        self._m_rows_scanned = metrics.counter("engine.table.rows_scanned")
         self._heap = HeapFile(buffer_pool, schema.record_size)
         self._indexes: dict[str, Index] = {}
         self.triggers = TriggerSet(clock, costs)
@@ -93,9 +99,13 @@ class Table:
             raise CatalogError(f"index {name!r} already exists on {self.name!r}")
         self.schema.column(column)  # raises on unknown column
         if kind == "btree":
-            index: Index = BTreeIndex(name, column, self._clock, self._costs, unique)
+            index: Index = BTreeIndex(
+                name, column, self._clock, self._costs, unique, self._metrics
+            )
         elif kind == "hash":
-            index = HashIndex(name, column, self._clock, self._costs, unique)
+            index = HashIndex(
+                name, column, self._clock, self._costs, unique, self._metrics
+            )
         else:
             raise CatalogError(f"unknown index kind {kind!r}")
         position = self.schema.column_index(column)
@@ -253,9 +263,16 @@ class Table:
         advance = self._clock.advance
         scan_cpu = self._costs.row_scan_cpu
         schema = self.schema
-        for row_id, record in self._heap.scan():
-            advance(scan_cpu)
-            yield row_id, decode_row(schema, record)
+        scanned = 0
+        try:
+            for row_id, record in self._heap.scan():
+                advance(scan_cpu)
+                scanned += 1
+                yield row_id, decode_row(schema, record)
+        finally:
+            # One metrics update per scan, not per row, keeps the hot path
+            # at a local integer bump even for million-row scans.
+            self._m_rows_scanned.inc(scanned)
 
     def lookup(self, column: str, key: Any) -> list[tuple[RowId, tuple[Any, ...]]]:
         """Equality lookup through an index on ``column`` (must exist)."""
@@ -293,7 +310,8 @@ class Table:
         removed = self._heap.truncate()
         for name, index in list(self._indexes.items()):
             rebuilt = type(index)(
-                index.name, index.column, self._clock, self._costs, index.unique
+                index.name, index.column, self._clock, self._costs,
+                index.unique, self._metrics,
             )
             self._indexes[name] = rebuilt
         return removed

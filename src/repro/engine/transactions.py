@@ -14,6 +14,7 @@ import enum
 from typing import TYPE_CHECKING, Any, Callable
 
 from ..errors import TransactionError
+from ..obs.metrics import MetricsLike, MetricsRegistry
 from .wal import LogManager, LogRecordKind
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -65,16 +66,30 @@ class Transaction:
 class TransactionManager:
     """Hands out transactions and drives commit/abort through the WAL."""
 
-    def __init__(self, log: LogManager) -> None:
+    def __init__(
+        self, log: LogManager, metrics: MetricsLike | None = None
+    ) -> None:
         self._log = log
         self._next_txn_id = 1
         self._active: dict[int, Transaction] = {}
-        self.commits = 0
-        self.aborts = 0
+        if metrics is None:
+            metrics = MetricsRegistry()
+        self._m_commits = metrics.counter("engine.txn.commit")
+        self._m_aborts = metrics.counter("engine.txn.abort")
         #: Observers notified on commit/abort with the transaction; the
         #: Op-Delta capture layer uses these to learn txn boundaries.
         self.commit_listeners: list[Callable[[Transaction], None]] = []
         self.abort_listeners: list[Callable[[Transaction], None]] = []
+
+    # Read-through views of the registry counters, preserving the pre-obs
+    # ad-hoc attribute API (``manager.commits`` / ``manager.aborts``).
+    @property
+    def commits(self) -> int:
+        return int(self._m_commits.value)
+
+    @property
+    def aborts(self) -> int:
+        return int(self._m_aborts.value)
 
     def begin(self) -> Transaction:
         txn = Transaction(self._next_txn_id)
@@ -89,7 +104,7 @@ class TransactionManager:
         self._log.force()
         txn.state = TxnState.COMMITTED
         self._active.pop(txn.txn_id, None)
-        self.commits += 1
+        self._m_commits.inc()
         for listener in self.commit_listeners:
             listener(txn)
 
@@ -102,7 +117,7 @@ class TransactionManager:
         self._log.append(LogRecordKind.ABORT, txn.txn_id)
         txn.state = TxnState.ABORTED
         self._active.pop(txn.txn_id, None)
-        self.aborts += 1
+        self._m_aborts.inc()
         for listener in self.abort_listeners:
             listener(txn)
 

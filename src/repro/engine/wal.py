@@ -21,6 +21,7 @@ from typing import Iterable, Iterator
 
 from ..clock import VirtualClock
 from ..errors import LogError
+from ..obs.metrics import MetricsLike, MetricsRegistry
 from .costs import CostModel
 from .rows import RowId
 
@@ -104,6 +105,7 @@ class LogManager:
         product: str = "ReproDB",
         product_version: str = "1.0",
         archive_mode: bool = False,
+        metrics: MetricsLike | None = None,
     ) -> None:
         self._clock = clock
         self._costs = costs
@@ -115,6 +117,24 @@ class LogManager:
         self._active: list[LogRecord] = []
         self._archived: list[LogSegment] = []
         self._flushed_lsn = 0
+        if metrics is None:
+            metrics = MetricsRegistry()
+        self._m_records = metrics.counter("engine.wal.record")
+        self._m_bytes = metrics.counter("engine.wal.bytes")
+        self._m_forces = metrics.counter("engine.wal.force")
+
+    # ------------------------------------------------------------------ stats
+    @property
+    def records_appended(self) -> int:
+        return int(self._m_records.value)
+
+    @property
+    def bytes_appended(self) -> int:
+        return int(self._m_bytes.value)
+
+    @property
+    def forces(self) -> int:
+        return int(self._m_forces.value)
 
     # ------------------------------------------------------------------ write
     def append(
@@ -129,12 +149,15 @@ class LogManager:
         record = LogRecord(self._next_lsn, kind, txn_id, table, row_id, before, after)
         self._next_lsn += 1
         self._active.append(record)
+        self._m_records.inc()
+        self._m_bytes.inc(record.payload_bytes)
         self._clock.advance(self._costs.log_append(record.payload_bytes))
         return record
 
     def force(self) -> int:
         """Flush the log up to the last appended record (commit durability)."""
         if self._active and self._active[-1].lsn > self._flushed_lsn:
+            self._m_forces.inc()
             self._clock.advance(self._costs.log_force)
             self._flushed_lsn = self._active[-1].lsn
         return self._flushed_lsn

@@ -91,3 +91,7 @@ class TransportError(ReproError):
 
 class SimulationError(ReproError):
     """Discrete-event simulation misuse (e.g. yielding a negative delay)."""
+
+
+class ObservabilityError(ReproError):
+    """Metrics/tracing misuse (bad metric name, kind clash, span disorder)."""

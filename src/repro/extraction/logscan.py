@@ -105,29 +105,38 @@ class LogExtractor:
             require_compatible(segment, self.reader_product, self.reader_version)
         committed = committed_txn_ids(all_records)
 
-        for record in all_records:
-            result.records_scanned += 1
-            clock.advance(costs.file_read(record.payload_bytes))
-            if not record.is_data_change():
-                continue
-            assert record.table is not None
-            if self._tables is not None and record.table not in self._tables:
-                continue
-            if record.txn_id not in committed:
-                result.uncommitted_skipped += 1
-                continue
-            batch = result.batches.get(record.table)
-            if batch is None:
-                if not self._database.has_table(record.table):
-                    raise LogError(
-                        f"log references table {record.table!r} with no "
-                        "catalog entry; cannot decode its images"
-                    )
-                schema = self._database.table(record.table).schema
-                batch = DeltaBatch(record.table, schema)
-                result.batches[record.table] = batch
-            batch.append(self._decode(record, batch))
-            result.changes_decoded += 1
+        with self._database.tracer.span(
+            "extract.log.scan", segments=len(segments)
+        ):
+            for record in all_records:
+                result.records_scanned += 1
+                clock.advance(costs.file_read(record.payload_bytes))
+                if not record.is_data_change():
+                    continue
+                assert record.table is not None
+                if self._tables is not None and record.table not in self._tables:
+                    continue
+                if record.txn_id not in committed:
+                    result.uncommitted_skipped += 1
+                    continue
+                batch = result.batches.get(record.table)
+                if batch is None:
+                    if not self._database.has_table(record.table):
+                        raise LogError(
+                            f"log references table {record.table!r} with no "
+                            "catalog entry; cannot decode its images"
+                        )
+                    schema = self._database.table(record.table).schema
+                    batch = DeltaBatch(record.table, schema)
+                    result.batches[record.table] = batch
+                batch.append(self._decode(record, batch))
+                result.changes_decoded += 1
+        metrics = self._database.metrics
+        metrics.counter("extract.log.records_scanned").inc(result.records_scanned)
+        metrics.counter("extract.log.rows_emitted").inc(result.changes_decoded)
+        metrics.counter("extract.log.delta_bytes").inc(
+            sum(batch.size_bytes for batch in result.batches.values())
+        )
         return result
 
     def _decode(self, record, batch: DeltaBatch) -> DeltaRecord:

@@ -16,6 +16,10 @@ implemented:
 
 Like the timestamp method, snapshot differentials only see final states —
 intermediate changes between snapshots are lost.
+
+Each public ``diff_*`` entry point runs under an
+``extract.snapshot.<algorithm>`` span and records the scanned-vs-emitted
+counters on the database's metrics registry.
 """
 
 from __future__ import annotations
@@ -46,9 +50,38 @@ def _common_checks(old: Snapshot, new: Snapshot) -> int:
     return key_index
 
 
+def _observe_diff(
+    database: Database,
+    algorithm: str,
+    old: Snapshot,
+    new: Snapshot,
+    batch: DeltaBatch,
+) -> DeltaBatch:
+    """Record the scanned-vs-emitted story for one differential run."""
+    metrics = database.metrics
+    metrics.counter(
+        "extract.snapshot.rows_scanned", algorithm=algorithm
+    ).inc(len(old.rows) + len(new.rows))
+    metrics.counter(
+        "extract.snapshot.rows_emitted", algorithm=algorithm
+    ).inc(len(batch.records))
+    metrics.counter(
+        "extract.snapshot.delta_bytes", algorithm=algorithm
+    ).inc(batch.size_bytes)
+    return batch
+
+
 def diff_naive(database: Database, old: Snapshot, new: Snapshot) -> DeltaBatch:
     """Nested-loop differential: compare every old row against every new row."""
     key_index = _common_checks(old, new)
+    with database.tracer.span("extract.snapshot.naive", table=old.table_name):
+        batch = _diff_naive(database, key_index, old, new)
+    return _observe_diff(database, "naive", old, new, batch)
+
+
+def _diff_naive(
+    database: Database, key_index: int, old: Snapshot, new: Snapshot
+) -> DeltaBatch:
     clock, costs = database.clock, database.costs
     batch = DeltaBatch(old.table_name, old.schema)
     matched_new: set[int] = set()
@@ -81,6 +114,14 @@ def diff_naive(database: Database, old: Snapshot, new: Snapshot) -> DeltaBatch:
 def diff_sort_merge(database: Database, old: Snapshot, new: Snapshot) -> DeltaBatch:
     """Sort both snapshots by key, then merge-compare."""
     key_index = _common_checks(old, new)
+    with database.tracer.span("extract.snapshot.sort_merge", table=old.table_name):
+        batch = _diff_sort_merge(database, key_index, old, new)
+    return _observe_diff(database, "sort_merge", old, new, batch)
+
+
+def _diff_sort_merge(
+    database: Database, key_index: int, old: Snapshot, new: Snapshot
+) -> DeltaBatch:
     clock, costs = database.clock, database.costs
 
     def sort_cost(rows: list) -> None:
@@ -139,6 +180,14 @@ def diff_window(
     if window < 1:
         raise SnapshotError(f"window must be at least 1, got {window}")
     key_index = _common_checks(old, new)
+    with database.tracer.span("extract.snapshot.window", table=old.table_name):
+        batch = _order_pairs(_diff_window(database, key_index, old, new, window))
+    return _observe_diff(database, "window", old, new, batch)
+
+
+def _diff_window(
+    database: Database, key_index: int, old: Snapshot, new: Snapshot, window: int
+) -> DeltaBatch:
     clock, costs = database.clock, database.costs
     batch = DeltaBatch(old.table_name, old.schema)
 
@@ -187,7 +236,7 @@ def diff_window(
         batch.append(DeltaRecord(ChangeKind.DELETE, key, before=row))
     for key, row in new_buffer.items():
         batch.append(DeltaRecord(ChangeKind.INSERT, key, after=row))
-    return _order_pairs(batch)
+    return batch
 
 
 def _order_pairs(batch: DeltaBatch) -> DeltaBatch:

@@ -52,6 +52,9 @@ class TriggerExtractor:
         self._remote: RemoteSession | None = None
         self._remote_seq = 0
         self._installed = False
+        self._m_captured = database.metrics.counter(
+            "extract.trigger.rows_captured", table=table_name
+        )
 
     # ------------------------------------------------------------------ setup
     def install(self) -> None:
@@ -110,6 +113,7 @@ class TriggerExtractor:
     def _local_insert(self, context: TriggerContext) -> None:
         assert self._writer is not None and context.new_values is not None
         self._writer.write_insert(context.transaction, context.new_values)
+        self._m_captured.inc()
 
     def _local_update(self, context: TriggerContext) -> None:
         assert self._writer is not None
@@ -117,10 +121,12 @@ class TriggerExtractor:
         self._writer.write_update(
             context.transaction, context.old_values, context.new_values
         )
+        self._m_captured.inc()
 
     def _local_delete(self, context: TriggerContext) -> None:
         assert self._writer is not None and context.old_values is not None
         self._writer.write_delete(context.transaction, context.old_values)
+        self._m_captured.inc()
 
     # ---------------------------------------------------------- remote actions
     def _remote_insert(self, context: TriggerContext) -> None:
@@ -155,18 +161,29 @@ class TriggerExtractor:
         self._remote.execute(
             f"INSERT INTO {self.delta_table_name} VALUES ({literals})"
         )
+        self._m_captured.inc()
 
     # ------------------------------------------------------------------ drain
     def drain_rows(self) -> list[tuple[Any, ...]]:
         """Read and clear the local delta table's rows."""
         writer = self._require_local()
-        rows = [values for _rid, values in writer.table.scan()]
-        writer.truncate()
+        with self._database.tracer.span(
+            "extract.trigger.drain", table=self.table_name
+        ):
+            rows = [values for _rid, values in writer.table.scan()]
+            writer.truncate()
+        self._database.metrics.counter(
+            "extract.trigger.rows_drained", table=self.table_name
+        ).inc(len(rows))
         return rows
 
     def drain_to_batch(self) -> DeltaBatch:
         """Drain the delta table into structured delta records."""
-        return delta_rows_to_batch(self._table.schema, self.drain_rows())
+        batch = delta_rows_to_batch(self._table.schema, self.drain_rows())
+        self._database.metrics.counter(
+            "extract.trigger.delta_bytes", table=self.table_name
+        ).inc(batch.size_bytes)
+        return batch
 
     def export_delta_table(self) -> ExportDump:
         """Export the delta table (the extra step "output to table" needs)."""

@@ -1,0 +1,68 @@
+"""Unified observability: metrics and virtual-time tracing (``repro.obs``).
+
+The paper's whole argument is a cost story — *where* the time and bytes go
+is why timestamps, snapshots, triggers and log extraction lose to
+Op-Delta.  This package makes those costs first-class:
+
+* :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` of counters,
+  gauges and labelled histograms, with a no-op :data:`NULL_REGISTRY` so
+  un-instrumented runs pay ~nothing;
+* :mod:`repro.obs.tracing` — a :class:`Tracer` of hierarchical spans
+  stamped in **virtual milliseconds**, exportable as Chrome-trace JSON;
+* :mod:`repro.obs.context` — the ambient :func:`observe` context that
+  ``repro-bench --metrics`` / ``--trace`` uses to thread one registry and
+  tracer through an experiment without touching its signature.
+
+Every recorded value derives from the :class:`~repro.clock.VirtualClock`
+and deterministic counts — never the host clock — so metrics and traces
+are bit-identical across runs.  Metric names follow
+``<subsystem>.<object>.<event>`` (see ``docs/observability.md``).
+"""
+
+from .context import ObsContext, ambient_metrics, ambient_tracer, current, observe
+from .metrics import (
+    DEFAULT_BUCKETS,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    Instrument,
+    LabelledRegistry,
+    MetricsLike,
+    MetricsRegistry,
+    NullRegistry,
+    qualify,
+)
+from .tracing import (
+    NULL_TRACER,
+    BoundTracer,
+    NullTracer,
+    Span,
+    Tracer,
+    TracerLike,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "NULL_REGISTRY",
+    "NULL_TRACER",
+    "BoundTracer",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Instrument",
+    "LabelledRegistry",
+    "MetricsLike",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NullTracer",
+    "ObsContext",
+    "Span",
+    "Tracer",
+    "TracerLike",
+    "ambient_metrics",
+    "ambient_tracer",
+    "current",
+    "observe",
+    "qualify",
+]

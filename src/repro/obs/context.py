@@ -1,0 +1,72 @@
+"""Ambient observability context.
+
+The experiment modules construct their databases, queues and networks
+internally, so a caller who wants one registry/tracer across a whole
+experiment (the ``repro-bench --metrics`` / ``--trace`` path) cannot pass
+them through every signature.  Instead it installs them ambiently::
+
+    with observe() as obs:
+        result = experiments.table2.run()
+    print(obs.metrics.to_json())
+
+While the ``with`` block is active, every :class:`~repro.engine.database.
+Database` (and the other obs-aware components) created *without* an
+explicit registry/tracer picks up the ambient pair.  Contexts nest — the
+innermost wins — and the stack is plain module state because the engine is
+single-threaded by design (concurrency is modelled by :mod:`repro.sim`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from contextlib import contextmanager
+
+from .metrics import MetricsRegistry
+from .tracing import Tracer
+
+
+class ObsContext:
+    """One ambient (registry, tracer) pair."""
+
+    __slots__ = ("metrics", "tracer")
+
+    def __init__(self, metrics: MetricsRegistry, tracer: Tracer) -> None:
+        self.metrics = metrics
+        self.tracer = tracer
+
+
+_STACK: list[ObsContext] = []
+
+
+def current() -> ObsContext | None:
+    """The innermost active context, or ``None``."""
+    return _STACK[-1] if _STACK else None
+
+
+def ambient_metrics() -> MetricsRegistry | None:
+    context = current()
+    return context.metrics if context is not None else None
+
+
+def ambient_tracer() -> Tracer | None:
+    context = current()
+    return context.tracer if context is not None else None
+
+
+@contextmanager
+def observe(
+    metrics: MetricsRegistry | None = None, tracer: Tracer | None = None
+) -> Iterator[ObsContext]:
+    """Install an ambient registry/tracer for the duration of the block.
+
+    Fresh instances are created for whichever of the two is omitted.
+    """
+    context = ObsContext(
+        metrics if metrics is not None else MetricsRegistry(),
+        tracer if tracer is not None else Tracer(),
+    )
+    _STACK.append(context)
+    try:
+        yield context
+    finally:
+        _STACK.pop()

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 
 from ..clock import VirtualClock
 from ..engine.costs import DEFAULT_COST_MODEL, CostModel
+from ..obs.metrics import MetricsLike, MetricsRegistry
 
 
 @dataclass
@@ -27,11 +28,19 @@ class NetworkModel:
     """Charges round trips and payload transfer times."""
 
     def __init__(
-        self, clock: VirtualClock, costs: CostModel = DEFAULT_COST_MODEL
+        self,
+        clock: VirtualClock,
+        costs: CostModel = DEFAULT_COST_MODEL,
+        metrics: MetricsLike | None = None,
     ) -> None:
         self._clock = clock
         self._costs = costs
         self.transfers: list[TransferRecord] = []
+        if metrics is None:
+            metrics = MetricsRegistry()
+        self._m_bytes = metrics.counter("transport.network.bytes")
+        self._m_round_trips = metrics.counter("transport.network.round_trips")
+        self._m_latency = metrics.histogram("transport.network.latency_ms")
 
     @property
     def bytes_moved(self) -> int:
@@ -48,9 +57,12 @@ class NetworkModel:
             )
         record = TransferRecord(description, payload_bytes, watch.elapsed)
         self.transfers.append(record)
+        self._m_bytes.inc(payload_bytes)
+        self._m_latency.observe(record.elapsed_ms)
         return record.elapsed_ms
 
     def round_trip(self) -> float:
         """One control-message round trip (acknowledgements etc.)."""
         self._clock.advance(self._costs.lan_round_trip)
+        self._m_round_trips.inc()
         return self._costs.lan_round_trip

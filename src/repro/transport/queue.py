@@ -17,6 +17,7 @@ from typing import Generic, TypeVar
 from ..clock import VirtualClock
 from ..engine.costs import DEFAULT_COST_MODEL, CostModel
 from ..errors import TransportError
+from ..obs.metrics import MetricsLike, MetricsRegistry
 
 T = TypeVar("T")
 
@@ -36,6 +37,7 @@ class PersistentQueue(Generic[T]):
         clock: VirtualClock,
         costs: CostModel = DEFAULT_COST_MODEL,
         name: str = "delta-queue",
+        metrics: MetricsLike | None = None,
     ) -> None:
         self._clock = clock
         self._costs = costs
@@ -46,6 +48,16 @@ class PersistentQueue(Generic[T]):
         self.enqueued = 0
         self.acknowledged = 0
         self.redelivered = 0
+        if metrics is None:
+            metrics = MetricsRegistry()
+        self._m_enqueued = metrics.counter("transport.queue.enqueued", queue=name)
+        self._m_bytes = metrics.counter("transport.queue.bytes", queue=name)
+        # High-water depth counts ready + in-flight: everything the queue
+        # still has to durably hold for at-least-once delivery.
+        self._m_depth = metrics.gauge("transport.queue.depth", queue=name)
+
+    def _track_depth(self) -> None:
+        self._m_depth.set(len(self._ready) + len(self._in_flight))
 
     def __len__(self) -> int:
         return len(self._ready)
@@ -66,6 +78,9 @@ class PersistentQueue(Generic[T]):
         self._next_id += 1
         self._ready.append(envelope)
         self.enqueued += 1
+        self._m_enqueued.inc()
+        self._m_bytes.inc(size_bytes)
+        self._track_depth()
         return envelope.delivery_id
 
     # ------------------------------------------------------------------ consume
@@ -90,6 +105,7 @@ class PersistentQueue(Generic[T]):
         self._clock.advance(self._costs.file_write(16) + self._costs.file_sync)
         del self._in_flight[delivery_id]
         self.acknowledged += 1
+        self._track_depth()
 
     def nack(self, delivery_id: int) -> None:
         """Return an unprocessed message to the front of the queue."""

@@ -66,7 +66,11 @@ def standard_queries(
 def measure_query_cost(database: Database, session: Session, query: OlapQuery) -> float:
     """Run one query and return its virtual cost in milliseconds."""
     with database.clock.stopwatch() as watch:
-        session.execute(query.sql)
+        with database.tracer.span("warehouse.olap.query", query=query.name):
+            session.execute(query.sql)
+    database.metrics.histogram(
+        "warehouse.olap.query_ms", query=query.name
+    ).observe(watch.elapsed)
     return watch.elapsed
 
 

@@ -23,6 +23,8 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from ..errors import SimulationError
+from ..obs.context import ambient_metrics
+from ..obs.metrics import MetricsLike
 from ..sim import Environment, LockMode, RWLock
 
 
@@ -105,6 +107,7 @@ def run_availability_experiment(
     maintenance_start_ms: float = 0.0,
     horizon_ms: float | None = None,
     unit_gap_ms: float = 0.0,
+    metrics: MetricsLike | None = None,
 ) -> AvailabilityReport:
     """Simulate maintenance against a concurrent OLAP query stream.
 
@@ -129,6 +132,9 @@ def run_availability_experiment(
         Pause between interleaved units — Op-Deltas arrive as source
         transactions commit, not back to back.  Ignored in batch mode
         (value deltas accumulate and apply in one window).
+    metrics:
+        Registry recording the maintenance window and the OLAP response
+        histogram; defaults to the ambient registry when one is active.
     """
     if mode not in ("batch", "interleaved"):
         raise SimulationError(f"unknown mode {mode!r}; use 'batch' or 'interleaved'")
@@ -181,4 +187,13 @@ def run_availability_experiment(
     env.process(maintenance(), name="maintenance")
     env.process(query_source(), name="query-source")
     env.run()
+    if metrics is None:
+        metrics = ambient_metrics()
+    if metrics is not None:
+        metrics.gauge(
+            "warehouse.maintenance.window_ms", mode=mode
+        ).set(report.maintenance_span_ms)
+        latency = metrics.histogram("warehouse.olap.response_ms", mode=mode)
+        for query in report.queries:
+            latency.observe(query.response_ms)
     return report

@@ -79,6 +79,9 @@ class MaterializedView:
             definition.name, columns, primary_key=storage_key
         )
         self.table: Table = warehouse_db.create_table(storage_schema)
+        self._m_refresh = warehouse_db.metrics.counter(
+            "warehouse.view.refresh", view=definition.name
+        )
 
     # ------------------------------------------------------------------ state
     def rows(self) -> list[tuple[Any, ...]]:
@@ -114,12 +117,16 @@ class MaterializedView:
                 f"view {self.definition.name!r} cannot be maintained from "
                 f"this {op.kind.value} without querying the sources"
             )
-        if op.kind is OpKind.INSERT:
-            self._apply_insert_op(op, txn)
-        elif level is Maintainability.OP_ONLY:
-            self._apply_rewritten(op, txn)
-        else:
-            self._apply_with_before_image(op, txn)
+        with self._db.tracer.span(
+            "warehouse.view.apply_op", view=self.definition.name
+        ):
+            if op.kind is OpKind.INSERT:
+                self._apply_insert_op(op, txn)
+            elif level is Maintainability.OP_ONLY:
+                self._apply_rewritten(op, txn)
+            else:
+                self._apply_with_before_image(op, txn)
+        self._m_refresh.inc()
         return level
 
     def _apply_insert_op(self, op: OpDelta, txn: Transaction) -> None:
@@ -203,6 +210,13 @@ class MaterializedView:
     # ------------------------------------------------------ value-delta path
     def apply_value_delta(self, records, txn: Transaction) -> None:
         """Maintain the view from row-image deltas (the classic path)."""
+        with self._db.tracer.span(
+            "warehouse.view.apply_value_delta", view=self.definition.name
+        ):
+            self._apply_value_delta(records, txn)
+        self._m_refresh.inc()
+
+    def _apply_value_delta(self, records, txn: Transaction) -> None:
         for record in records:
             kind = record.kind.name
             if kind == "INSERT":
