@@ -1,0 +1,13 @@
+"""Extension — static Op-Delta analysis: pruning, pinning, conflict-aware apply."""
+
+from repro.bench.experiments import analysis
+
+
+def test_analysis(run_experiment):
+    result = run_experiment(analysis.run)
+    # The reordered (conflict-aware) application reproduced the serial
+    # state, some statements were pruned, and the schedule actually
+    # shortened the apply window.
+    assert result.series["statements_pruned"][0] > 0
+    serial, parallel = result.series["apply_span_ms"]
+    assert parallel < serial

@@ -1,0 +1,70 @@
+"""Static analysis of captured Op-Delta statements.
+
+Everything here works on the SQL AST alone — no statement is ever
+executed.  The package answers three questions about each captured
+operation, all conservatively (a "yes" is a proof, a "no" just means the
+analyzer could not prove it):
+
+* :mod:`~repro.analysis.rwsets` — *what does it touch?*  Read/write column
+  sets and predicate-bounded row ranges.
+* :mod:`~repro.analysis.safety` — *can it be replayed, retried,
+  reordered?*  Determinism, idempotence and pairwise commutativity.
+* :mod:`~repro.analysis.conflict` — *which transactions are independent?*
+  The conflict graph whose components the warehouse scheduler applies in
+  parallel.
+* :mod:`~repro.analysis.relevance` — *does the warehouse care?*  Pruning
+  of statements no materialised view (and no mirror) can observe.
+
+:class:`OpDeltaAnalyzer` is the facade the capture hook, transport layer
+and integrator share.
+"""
+
+from .analyzer import AnalysisRecord, OpDeltaAnalyzer
+from .conflict import (
+    ConflictGraph,
+    build_conflict_graph,
+    parallel_order,
+    transactions_conflict,
+)
+from .relevance import RelevanceVerdict, statement_relevance
+from .rwsets import (
+    ColumnConstraint,
+    Interval,
+    PredicateRange,
+    StatementFootprint,
+    extract_footprint,
+    range_from_insert,
+    range_from_predicate,
+)
+from .safety import (
+    Determinism,
+    commutes,
+    expression_determinism,
+    is_idempotent,
+    pin_time_functions,
+    statement_determinism,
+)
+
+__all__ = [
+    "AnalysisRecord",
+    "OpDeltaAnalyzer",
+    "pin_time_functions",
+    "ConflictGraph",
+    "build_conflict_graph",
+    "parallel_order",
+    "transactions_conflict",
+    "RelevanceVerdict",
+    "statement_relevance",
+    "ColumnConstraint",
+    "Interval",
+    "PredicateRange",
+    "StatementFootprint",
+    "extract_footprint",
+    "range_from_insert",
+    "range_from_predicate",
+    "Determinism",
+    "commutes",
+    "expression_determinism",
+    "is_idempotent",
+    "statement_determinism",
+]

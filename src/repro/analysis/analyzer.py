@@ -1,0 +1,173 @@
+"""The Op-Delta analyzer facade.
+
+:class:`OpDeltaAnalyzer` bundles the footprint extractor, the safety
+classifier and the relevance matcher behind one object that the capture
+hook, the transport layer and the warehouse integrator all share.  Its
+product is the :class:`AnalysisRecord` — a per-statement summary that
+rides along with the captured :class:`~repro.core.opdelta.OpDelta` and
+answers the three questions the downstream layers ask:
+
+* *Can this statement be replayed?*  (``record.safe`` / ``record.pinnable``
+  — volatile statements need the value-delta fallback.)
+* *Does anything at the warehouse care?*  (``record.pruned`` — if not,
+  the transport drops the statement.)
+* *Does this transaction conflict with that one?*  (``analyzer.commutes``
+  feeding :func:`repro.analysis.conflict.build_conflict_graph`.)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping, Sequence
+
+from ..core.opdelta import OpDelta, OpDeltaTransaction
+from ..core.selfmaint import ViewDefinition
+from ..obs.context import ambient_metrics
+from ..obs.metrics import NULL_REGISTRY, MetricsLike
+from ..sql import ast_nodes as ast
+from .conflict import ConflictGraph, build_conflict_graph
+from .relevance import RelevanceVerdict, statement_relevance
+from .rwsets import StatementFootprint, extract_footprint
+from .safety import (
+    Determinism,
+    commutes,
+    is_idempotent,
+    pin_time_functions,
+    statement_determinism,
+)
+
+
+@dataclass(frozen=True)
+class AnalysisRecord:
+    """Everything the static analyzer knows about one statement."""
+
+    footprint: StatementFootprint
+    determinism: Determinism
+    idempotent: bool
+    relevance: RelevanceVerdict
+
+    @property
+    def pruned(self) -> bool:
+        return self.relevance.pruned
+
+    @property
+    def safe(self) -> bool:
+        """Replayable as captured, without any rewriting."""
+        return self.determinism is Determinism.DETERMINISTIC
+
+    @property
+    def pinnable(self) -> bool:
+        """Replayable after substituting the capture timestamp."""
+        return self.determinism is Determinism.TIME_DEPENDENT
+
+    def to_dict(self) -> dict[str, Any]:
+        """A flat, JSON-friendly rendering for reports and traces."""
+        return {
+            "table": self.footprint.table,
+            "kind": self.footprint.kind.name,
+            "reads": sorted(self.footprint.reads),
+            "writes": sorted(self.footprint.writes)
+            if not self.footprint.writes_all_columns
+            else ["*"],
+            "determinism": self.determinism.value,
+            "idempotent": self.idempotent,
+            "pruned": self.pruned,
+            "relevant_views": list(self.relevance.relevant_views),
+        }
+
+
+class OpDeltaAnalyzer:
+    """Static analyzer for captured Op-Delta statements.
+
+    ``views`` and ``mirrored_tables`` describe the warehouse's interest for
+    relevance pruning; ``key_columns`` (table → primary-key column) and
+    ``table_columns`` (table → column order) sharpen the commutativity and
+    footprint analyses.  All four are optional — each omission only makes
+    the analyzer more conservative, never unsound.
+    """
+
+    def __init__(
+        self,
+        views: Sequence[ViewDefinition] = (),
+        mirrored_tables: Iterable[str] = (),
+        key_columns: Mapping[str, str] | None = None,
+        table_columns: Mapping[str, Sequence[str]] | None = None,
+        metrics: MetricsLike | None = None,
+    ) -> None:
+        self.views = tuple(views)
+        self.mirrored_tables = frozenset(mirrored_tables)
+        self.key_columns = dict(key_columns) if key_columns else {}
+        self.table_columns = (
+            {t: tuple(cols) for t, cols in table_columns.items()}
+            if table_columns
+            else {}
+        )
+        self._metrics = metrics
+
+    @property
+    def metrics(self) -> MetricsLike:
+        if self._metrics is not None:
+            return self._metrics
+        ambient = ambient_metrics()
+        return ambient if ambient is not None else NULL_REGISTRY
+
+    # ------------------------------------------------------------- analysis
+    def analyze_statement(self, statement: ast.Statement) -> AnalysisRecord:
+        footprint = extract_footprint(statement, self.table_columns or None)
+        determinism = statement_determinism(statement)
+        relevance = statement_relevance(
+            footprint, self.views, self.mirrored_tables
+        )
+        record = AnalysisRecord(
+            footprint=footprint,
+            determinism=determinism,
+            idempotent=is_idempotent(footprint),
+            relevance=relevance,
+        )
+        metrics = self.metrics
+        metrics.counter("analysis.statement.total").inc()
+        metrics.counter(f"analysis.statement.{determinism.value}").inc()
+        if record.idempotent:
+            metrics.counter("analysis.statement.idempotent").inc()
+        if record.pruned:
+            metrics.counter("analysis.statement.pruned").inc()
+        return record
+
+    def analyze_op(self, op: OpDelta) -> AnalysisRecord:
+        return self.analyze_statement(op.statement)
+
+    def commutes(self, a: AnalysisRecord, b: AnalysisRecord) -> bool:
+        return commutes(a.footprint, b.footprint, self.key_columns)
+
+    # -------------------------------------------------------------- actions
+    def pin(self, op: OpDelta) -> OpDelta:
+        """A copy of ``op`` with its time functions pinned to capture time."""
+        pinned = pin_time_functions(op.statement, op.captured_at)
+        return dataclasses.replace(
+            op, statement_text=pinned.to_sql(), _parsed=pinned
+        )
+
+    def prune_transaction(
+        self, group: OpDeltaTransaction
+    ) -> OpDeltaTransaction | None:
+        """Drop irrelevant statements; ``None`` when nothing survives."""
+        kept = [
+            op for op in group.operations if not self.analyze_op(op).pruned
+        ]
+        if not kept:
+            return None
+        if len(kept) == len(group.operations):
+            return group
+        return dataclasses.replace(group, operations=kept)
+
+    def conflict_graph(
+        self, groups: Sequence[OpDeltaTransaction]
+    ) -> ConflictGraph:
+        """The conflict graph of a drained batch (see :mod:`.conflict`)."""
+        return build_conflict_graph(
+            groups,
+            table_columns=self.table_columns or None,
+            key_columns=self.key_columns or None,
+            metrics=self.metrics,
+        )

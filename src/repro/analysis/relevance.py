@@ -1,0 +1,129 @@
+"""View-relevance pruning: drop Op-Deltas no warehouse view can observe.
+
+The paper ships every captured statement to the warehouse; in practice
+many statements touch tables or columns no materialised view projects.
+Matching a statement's *write set* and *row range* against the view
+definitions at capture time lets the transport layer drop those deltas
+before they consume bandwidth or apply-time.
+
+The judgement is conservative in the usual direction: a statement is
+pruned only when it provably cannot change any view's content (nor a
+mirrored base table).  Anything the extractor cannot bound stays relevant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..core.opdelta import OpKind
+from ..core.selfmaint import ViewDefinition
+from ..sql import ast_nodes as ast
+from .rwsets import (
+    PredicateRange,
+    StatementFootprint,
+    range_from_predicate,
+)
+
+
+@dataclass(frozen=True)
+class RelevanceVerdict:
+    """Which warehouse consumers can observe one statement's effects."""
+
+    #: Names of views whose content the statement may change.
+    relevant_views: tuple[str, ...]
+    #: Whether the statement's table is mirrored wholesale at the warehouse.
+    mirror_relevant: bool
+
+    @property
+    def pruned(self) -> bool:
+        """True when nothing at the warehouse can observe this statement."""
+        return not self.relevant_views and not self.mirror_relevant
+
+
+def statement_relevance(
+    footprint: StatementFootprint,
+    views: Sequence[ViewDefinition],
+    mirrored_tables: Iterable[str] = (),
+) -> RelevanceVerdict:
+    """Match a statement's footprint against the warehouse view catalog."""
+    relevant = tuple(
+        view.name for view in views if _affects_view(view, footprint)
+    )
+    return RelevanceVerdict(
+        relevant_views=relevant,
+        mirror_relevant=footprint.table in set(mirrored_tables),
+    )
+
+
+def _view_interest_columns(view: ViewDefinition) -> set[str]:
+    """Base-table columns whose values the view's content depends on."""
+    interest = set(view.columns) | view.predicate_columns()
+    if view.key_column is not None:
+        interest.add(view.key_column)
+    if view.join is not None:
+        interest.add(view.join.left_column)
+    return interest
+
+
+def _affects_view(view: ViewDefinition, footprint: StatementFootprint) -> bool:
+    if footprint.table == view.base_table:
+        return _affects_base(view, footprint)
+    if view.join is not None and footprint.table == view.join.table:
+        # Changing the dimension table can rewrite the view's joined
+        # columns; bounding that would need join-key tracking, so stay
+        # conservative.
+        return True
+    return False
+
+
+def _affects_base(view: ViewDefinition, footprint: StatementFootprint) -> bool:
+    view_range = range_from_predicate(view.predicate_ast())
+
+    if footprint.kind is OpKind.UPDATE:
+        # Column test: an UPDATE that assigns only columns the view neither
+        # projects nor selects on cannot change the view's content.
+        if not footprint.writes & _view_interest_columns(view):
+            return False
+        # Row test: the affected rows provably lie outside the view's
+        # selection range, and no assignment can move one inside it.
+        if (
+            footprint.row_range is not None
+            and footprint.row_range.disjoint_from(view_range)
+            and _cannot_enter_range(view_range, footprint)
+        ):
+            return False
+        return True
+
+    if footprint.kind is OpKind.DELETE:
+        # Deleted rows provably were never in the view.
+        if footprint.row_range is not None and footprint.row_range.disjoint_from(
+            view_range
+        ):
+            return False
+        return True
+
+    # INSERT: irrelevant only when every inserted row provably fails the
+    # view's selection predicate.
+    if footprint.row_range is not None and footprint.row_range.disjoint_from(
+        view_range
+    ):
+        return False
+    return True
+
+
+def _cannot_enter_range(
+    target: PredicateRange, footprint: StatementFootprint
+) -> bool:
+    """Whether the UPDATE's assignments provably cannot move a row into
+    ``target`` (same literal-escape rule as safety's ``_cannot_move_into``,
+    but against a bare range rather than another statement)."""
+    for assignment in footprint.assignments:
+        constraint = target.get(assignment.column)
+        if constraint is None:
+            continue
+        if not isinstance(assignment.expr, ast.Literal):
+            return False
+        if constraint.admits(assignment.expr.value):
+            return False
+    return True

@@ -1,0 +1,409 @@
+"""Safety classification of captured Op-Delta statements.
+
+Three orthogonal judgements, all static (no execution):
+
+**Determinism** — :class:`Determinism` is a three-level lattice.
+``DETERMINISTIC`` statements reference no session state and replay
+identically anywhere.  ``TIME_DEPENDENT`` statements call only time
+functions (``NOW()``/``CURRENT_TIMESTAMP``): they are *pinnable* — the
+capture timestamp can be substituted into the text and the result replays
+deterministically.  ``VOLATILE`` statements reference unrecoverable state
+(``RANDOM()``, session identity) and cannot be replayed faithfully from
+the statement alone; the integrator must fall back to value deltas.
+
+**Idempotence** — whether applying the statement twice leaves the same
+state as applying it once.  Governs retry safety in the transport layer.
+
+**Commutativity** — whether two statements can be applied in either order
+with the same final state.  This is the foundation of the transaction
+conflict graph: transactions whose statements pairwise commute can be
+applied concurrently at the warehouse.
+
+All judgements are *conservative*: ``commutes`` answers ``True`` only when
+reordering is provably safe, and falls back to ``False`` whenever the
+statement shapes defeat the range extractor.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Mapping
+
+from ..sql import ast_nodes as ast
+from ..sql.expressions import referenced_columns, referenced_functions
+from .rwsets import StatementFootprint
+
+
+class Determinism(enum.Enum):
+    """How much session state a statement's expressions depend on."""
+
+    DETERMINISTIC = "deterministic"
+    #: Depends only on the clock — replayable by pinning the capture time.
+    TIME_DEPENDENT = "time_dependent"
+    #: Depends on unrecoverable session state (randomness, identity).
+    VOLATILE = "volatile"
+
+    @property
+    def replayable(self) -> bool:
+        """Whether the statement can be replayed faithfully (possibly pinned)."""
+        return self is not Determinism.VOLATILE
+
+
+_NON_TIME_VOLATILE = frozenset(ast.VOLATILE_FUNCTIONS) - frozenset(
+    ast.TIME_FUNCTIONS
+)
+
+
+def expression_determinism(expr: ast.Expression | None) -> Determinism:
+    """Classify one expression by the functions it invokes."""
+    functions = referenced_functions(expr)
+    if functions & _NON_TIME_VOLATILE:
+        return Determinism.VOLATILE
+    if functions & frozenset(ast.TIME_FUNCTIONS):
+        return Determinism.TIME_DEPENDENT
+    return Determinism.DETERMINISTIC
+
+
+def statement_determinism(statement: ast.Statement) -> Determinism:
+    """Classify a whole DML statement: the worst of its expressions."""
+    worst = Determinism.DETERMINISTIC
+
+    def fold(expr: ast.Expression | None) -> None:
+        nonlocal worst
+        level = expression_determinism(expr)
+        if _RANK[level] > _RANK[worst]:
+            worst = level
+
+    if isinstance(statement, ast.InsertStmt):
+        for row in statement.rows:
+            for expr in row:
+                fold(expr)
+        if statement.select is not None:
+            fold(statement.select.where)
+            for item in statement.select.items:
+                if isinstance(item.expr, ast.Expression):
+                    fold(item.expr)
+    elif isinstance(statement, ast.UpdateStmt):
+        fold(statement.where)
+        for assignment in statement.assignments:
+            fold(assignment.expr)
+    elif isinstance(statement, ast.DeleteStmt):
+        fold(statement.where)
+    return worst
+
+
+_RANK = {
+    Determinism.DETERMINISTIC: 0,
+    Determinism.TIME_DEPENDENT: 1,
+    Determinism.VOLATILE: 2,
+}
+
+
+def pin_time_functions(
+    statement: ast.Statement, at_ms: float
+) -> ast.Statement:
+    """Rewrite every time-function call to the literal capture timestamp.
+
+    This is what makes ``TIME_DEPENDENT`` statements replayable: the value
+    ``NOW()`` had at the source is known (the capture record carries it),
+    so substituting it yields a deterministic statement with identical
+    effect.  Non-time volatile functions are left untouched — they have no
+    recoverable value and the caller must fall back to value deltas.
+    """
+
+    def rewrite(expr: ast.Expression) -> ast.Expression:
+        if isinstance(expr, ast.FuncCall):
+            if expr.function in ast.TIME_FUNCTIONS:
+                return ast.Literal(at_ms)
+            return dataclasses.replace(
+                expr, args=tuple(rewrite(a) for a in expr.args)
+            )
+        if isinstance(expr, ast.BinaryOp):
+            return dataclasses.replace(
+                expr, left=rewrite(expr.left), right=rewrite(expr.right)
+            )
+        if isinstance(expr, ast.UnaryOp):
+            return dataclasses.replace(expr, operand=rewrite(expr.operand))
+        if isinstance(expr, ast.InList):
+            return dataclasses.replace(
+                expr,
+                expr=rewrite(expr.expr),
+                items=tuple(rewrite(i) for i in expr.items),
+            )
+        if isinstance(expr, ast.Between):
+            return dataclasses.replace(
+                expr,
+                expr=rewrite(expr.expr),
+                low=rewrite(expr.low),
+                high=rewrite(expr.high),
+            )
+        if isinstance(expr, (ast.Like, ast.IsNull)):
+            return dataclasses.replace(expr, expr=rewrite(expr.expr))
+        return expr
+
+    if isinstance(statement, ast.UpdateStmt):
+        return dataclasses.replace(
+            statement,
+            assignments=tuple(
+                dataclasses.replace(a, expr=rewrite(a.expr))
+                for a in statement.assignments
+            ),
+            where=rewrite(statement.where)
+            if statement.where is not None
+            else None,
+        )
+    if isinstance(statement, ast.DeleteStmt):
+        return dataclasses.replace(
+            statement,
+            where=rewrite(statement.where)
+            if statement.where is not None
+            else None,
+        )
+    if isinstance(statement, ast.InsertStmt):
+        return dataclasses.replace(
+            statement,
+            rows=tuple(
+                tuple(rewrite(e) for e in row) for row in statement.rows
+            ),
+        )
+    return statement
+
+
+def is_idempotent(footprint: StatementFootprint) -> bool:
+    """Whether applying the statement twice equals applying it once.
+
+    A deterministic DELETE is idempotent (the second pass matches nothing
+    new).  A deterministic UPDATE is idempotent iff no assignment reads a
+    column that is also assigned — ``qty = qty + 1`` accumulates, while
+    ``status = 'done'`` converges.  An assignment may also re-match rows it
+    moved *into* its own WHERE range, so additionally no assigned column
+    may appear in the WHERE clause... except that assignments which pin the
+    column to a constant converge regardless.  We keep the simple sound
+    rule: assigned columns must not appear among the assignment inputs, and
+    any assigned column in the WHERE clause must be assigned a literal.
+    INSERT is never idempotent (it adds a row per application).
+    """
+    if statement_determinism(footprint.statement) is not Determinism.DETERMINISTIC:
+        return False
+    if footprint.kind.name == "DELETE":
+        return True
+    if footprint.kind.name == "INSERT":
+        return False
+    assigned = {a.column for a in footprint.assignments}
+    for assignment in footprint.assignments:
+        if referenced_columns(assignment.expr) & assigned:
+            return False
+        if assignment.column in footprint.where_columns and not isinstance(
+            assignment.expr, ast.Literal
+        ):
+            return False
+    return True
+
+
+def commutes(
+    a: StatementFootprint,
+    b: StatementFootprint,
+    key_columns: Mapping[str, str] | None = None,
+) -> bool:
+    """Whether applying ``a`` then ``b`` equals applying ``b`` then ``a``.
+
+    ``key_columns`` maps table name to its primary-key column; it is
+    required to reason about INSERT pairs, where a key conflict makes the
+    outcome order-dependent.  The answer is ``True`` only when reordering
+    is provably state-preserving.
+    """
+    det_a = statement_determinism(a.statement)
+    det_b = statement_determinism(b.statement)
+    # Even TIME_DEPENDENT statements do not commute: swapping the order
+    # shifts the virtual clock value each one evaluates under.
+    if det_a is not Determinism.DETERMINISTIC or det_b is not Determinism.DETERMINISTIC:
+        return False
+    if a.table != b.table:
+        return True
+
+    kind_a, kind_b = a.kind.name, b.kind.name
+    if kind_a > kind_b:  # normalise pair order: DELETE < INSERT < UPDATE
+        a, b = b, a
+        kind_a, kind_b = kind_b, kind_a
+
+    if kind_a == "DELETE" and kind_b == "DELETE":
+        return True
+    if kind_a == "UPDATE" and kind_b == "UPDATE":
+        return _updates_commute(a, b)
+    if kind_a == "DELETE" and kind_b == "UPDATE":
+        return _delete_update_commute(a, b)
+    pk = None if key_columns is None else key_columns.get(a.table)
+    if kind_a == "INSERT" and kind_b == "INSERT":
+        return _inserts_commute(a, b, pk)
+    if kind_a == "INSERT" and kind_b == "UPDATE":
+        return _insert_update_commute(a, b, pk)
+    if kind_a == "DELETE" and kind_b == "INSERT":
+        return _delete_insert_commute(a, b, pk)
+    return False
+
+
+def _ranges_disjoint(a: StatementFootprint, b: StatementFootprint) -> bool:
+    if a.row_range is None or b.row_range is None:
+        return False
+    return a.row_range.disjoint_from(b.row_range)
+
+
+def _cannot_move_into(
+    target: StatementFootprint, mover: StatementFootprint
+) -> bool:
+    """Whether ``mover``'s assignments provably cannot move a row into
+    ``target``'s range.
+
+    ``mover`` rewrites some columns; if one of those columns constrains
+    ``target``'s WHERE range, the rewrite could make a previously
+    unmatched row match.  Safe only when every such assignment is a
+    literal that the target's constraint rejects.
+    """
+    if target.row_range is None:
+        return False
+    for assignment in mover.assignments:
+        constraint = target.row_range.get(assignment.column)
+        if constraint is None:
+            continue  # target does not constrain this column
+        if not isinstance(assignment.expr, ast.Literal):
+            return False  # computed value: could land anywhere
+        if constraint.admits(assignment.expr.value):
+            return False
+    return True
+
+
+def _updates_commute(a: StatementFootprint, b: StatementFootprint) -> bool:
+    # Case 1: provably disjoint row sets, and neither can move rows into
+    # the other's range.
+    if (
+        _ranges_disjoint(a, b)
+        and _cannot_move_into(a, b)
+        and _cannot_move_into(b, a)
+    ):
+        return True
+    # Case 2: possibly-overlapping rows, but the assignments themselves
+    # commute pointwise.  Requires that neither WHERE clause references any
+    # assigned column (membership is then order-independent), and that for
+    # every column assigned by both the updates are of the commuting shape
+    # ``c = c OP literal`` with the same associative-commutative operator.
+    assigned_a = {x.column for x in a.assignments}
+    assigned_b = {x.column for x in b.assignments}
+    all_assigned = assigned_a | assigned_b
+    if (a.where_columns | b.where_columns) & all_assigned:
+        return False
+    by_col_a = {x.column: x.expr for x in a.assignments}
+    by_col_b = {x.column: x.expr for x in b.assignments}
+    for column in all_assigned:
+        expr_a = by_col_a.get(column)
+        expr_b = by_col_b.get(column)
+        if expr_a is not None and expr_b is not None:
+            if not _additive_pair(column, expr_a, expr_b):
+                return False
+            # ``c = c + k`` self-reads are fine, but no *other* assignment
+            # in either statement may read the accumulated column.
+            for stmt_assignments in (a.assignments, b.assignments):
+                if any(
+                    column in referenced_columns(x.expr)
+                    for x in stmt_assignments
+                    if x.column != column
+                ):
+                    return False
+        elif expr_a is not None:
+            # Only ``a`` assigns it; ``b`` must not read it as an input.
+            if any(
+                column in referenced_columns(x.expr) for x in b.assignments
+            ):
+                return False
+        else:
+            if any(
+                column in referenced_columns(x.expr) for x in a.assignments
+            ):
+                return False
+    return True
+
+
+def _additive_pair(
+    column: str, expr_a: ast.Expression, expr_b: ast.Expression
+) -> bool:
+    """Both exprs are ``column OP literal`` with the same OP in {+, *}."""
+    op_a = _self_op(column, expr_a)
+    op_b = _self_op(column, expr_b)
+    return op_a is not None and op_a == op_b
+
+
+def _self_op(column: str, expr: ast.Expression) -> str | None:
+    if not isinstance(expr, ast.BinaryOp) or expr.op not in ("+", "*"):
+        return None
+    left, right = expr.left, expr.right
+    if isinstance(left, ast.ColumnRef) and left.name == column:
+        other = right
+    elif isinstance(right, ast.ColumnRef) and right.name == column:
+        other = left
+    else:
+        return None
+    return expr.op if isinstance(other, ast.Literal) else None
+
+
+def _delete_update_commute(
+    delete: StatementFootprint, update: StatementFootprint
+) -> bool:
+    # Safe when the update cannot change which rows the delete matches and
+    # deleting first cannot change what the update writes (deleted rows are
+    # gone either way, so only membership interference matters).
+    update_assigned = {x.column for x in update.assignments}
+    if not update_assigned & delete.where_columns:
+        return True
+    return _ranges_disjoint(delete, update) and _cannot_move_into(
+        delete, update
+    )
+
+
+def _inserts_commute(
+    a: StatementFootprint, b: StatementFootprint, pk: str | None
+) -> bool:
+    # Order matters only through constraint conflicts: if both inserts are
+    # literal rows with known, disjoint primary-key point sets, neither can
+    # steal the other's key, and the final table content is order-free.
+    if pk is None or a.row_range is None or b.row_range is None:
+        return False
+    ca, cb = a.row_range.get(pk), b.row_range.get(pk)
+    if ca is None or cb is None:
+        return False
+    return not ca.overlaps(cb)
+
+
+def _insert_update_commute(
+    insert: StatementFootprint, update: StatementFootprint, pk: str | None
+) -> bool:
+    # The inserted rows must provably not match the UPDATE's range (else
+    # order decides whether they get updated), and the UPDATE must not
+    # rewrite the primary key into the inserted key set.
+    if insert.row_range is None or update.row_range is None:
+        return False
+    if not insert.row_range.disjoint_from(update.row_range):
+        return False
+    if not _cannot_move_into(insert, update):
+        return False
+    if pk is None or update.writes_column(pk):
+        return False
+    return True
+
+
+def _delete_insert_commute(
+    delete: StatementFootprint, insert: StatementFootprint, pk: str | None
+) -> bool:
+    # Deleting first could free a primary key the insert then takes; the
+    # insert's rows must not fall in the delete's range, and their keys
+    # must be provably outside any key set the delete touches.
+    if insert.row_range is None or delete.row_range is None:
+        return False
+    if not insert.row_range.disjoint_from(delete.row_range):
+        return False
+    if pk is None:
+        return False
+    delete_keys = delete.row_range.get(pk)
+    insert_keys = insert.row_range.get(pk)
+    if delete_keys is None or insert_keys is None:
+        return False
+    return not delete_keys.overlaps(insert_keys)

@@ -18,7 +18,7 @@ from ..obs.context import observe
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracing import Tracer
 from .experiments import REGISTRY
-from .report import render
+from .report import render, render_analysis
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -42,6 +42,14 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="collect engine/extraction/transport/warehouse metrics during "
         "each experiment and print a cost breakdown after its table",
+    )
+    parser.add_argument(
+        "--analyze",
+        action="store_true",
+        help="collect the static Op-Delta analyzer's accounting during each "
+        "experiment and print it after its table: statement safety classes "
+        "(deterministic / pinnable / volatile), view-relevance pruning, and "
+        "conflict-graph structure",
     )
     parser.add_argument(
         "--trace",
@@ -84,11 +92,12 @@ def main(argv: list[str] | None = None) -> int:
     # can be piped into jq etc.) and the rendered tables move to stderr.
     report = sys.stderr if "-" in (args.trace, args.json) else sys.stdout
 
-    observing = args.metrics or args.trace is not None
+    observing = args.metrics or args.analyze or args.trace is not None
     trace_events: list[dict] = []
     results = []
     failed = []
     for position, name in enumerate(wanted, start=1):
+        analysis_text: str | None = None
         if observing:
             registry = MetricsRegistry()
             tracer = Tracer()
@@ -96,6 +105,8 @@ def main(argv: list[str] | None = None) -> int:
                 result = REGISTRY[name]()
             if args.metrics:
                 result.metrics = registry.snapshot()
+            if args.analyze:
+                analysis_text = render_analysis(registry.snapshot())
             if args.trace is not None:
                 trace_events.extend(
                     tracer.chrome_trace_events(pid=position, process_name=name)
@@ -104,6 +115,8 @@ def main(argv: list[str] | None = None) -> int:
             result = REGISTRY[name]()
         results.append(result)
         print(render(result), file=report)
+        if analysis_text is not None:
+            print(analysis_text, file=report)
         print(file=report)
         if not result.all_checks_pass:
             failed.append(name)

@@ -11,6 +11,7 @@ from typing import Callable
 from ..report import ExperimentResult
 from . import (
     aggregate_views,
+    analysis,
     capture_levels,
     fig2,
     fig3,
@@ -46,6 +47,7 @@ REGISTRY: dict[str, Callable[[], ExperimentResult]] = {
     "capture_levels": capture_levels.run,
     "aggregate_views": aggregate_views.run,
     "sensitivity": sensitivity.run,
+    "analysis": analysis.run,
 }
 
 __all__ = ["REGISTRY"] + list(REGISTRY)

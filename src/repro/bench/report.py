@@ -175,6 +175,67 @@ def render_cost_breakdown(snapshot: dict[str, Any]) -> str:
     return "\n".join(out)
 
 
+def render_analysis(snapshot: dict[str, Any]) -> str:
+    """Render the static-analyzer accounting from a metrics snapshot.
+
+    Shown by ``repro-bench --analyze``: how the captured statements were
+    classified (safe / pinnable / volatile / idempotent), how many the
+    view-relevance pass pruned, and the shape of the conflict graph the
+    scheduler exploited.
+    """
+    counters: dict[str, float] = snapshot.get("counters", {})
+    gauges: dict[str, dict[str, float]] = snapshot.get("gauges", {})
+
+    def counter(name: str) -> int:
+        return int(counters.get(name, 0))
+
+    def gauge(name: str) -> float:
+        return gauges.get(name, {}).get("value", 0.0)
+
+    out = ["static analysis:"]
+    total = counter("analysis.statement.total")
+    if total == 0:
+        out.append("  (no Op-Delta statements analyzed)")
+        return "\n".join(out)
+    out.append(f"  statements analyzed         {total:>6,}")
+    out.append(
+        f"    deterministic (safe)      "
+        f"{counter('analysis.statement.deterministic'):>6,}"
+    )
+    out.append(
+        f"    time-dependent (pinnable) "
+        f"{counter('analysis.statement.time_dependent'):>6,}"
+    )
+    out.append(
+        f"    volatile (fallback)       "
+        f"{counter('analysis.statement.volatile'):>6,}"
+    )
+    out.append(
+        f"    idempotent                "
+        f"{counter('analysis.statement.idempotent'):>6,}"
+    )
+    out.append(
+        f"    pruned (view-irrelevant)  "
+        f"{counter('analysis.statement.pruned'):>6,}"
+    )
+    components = gauge("analysis.conflict.components")
+    if components:
+        out.append(
+            f"  conflict graph: {int(components)} independent groups, "
+            f"{counter('analysis.conflict.edges')} conflict edges, "
+            f"largest group {int(gauge('analysis.conflict.largest_component'))}"
+        )
+    serial = gauge("warehouse.schedule.serial_ms")
+    parallel = gauge("warehouse.schedule.parallel_ms")
+    if parallel:
+        out.append(
+            f"  conflict-aware apply: {serial:,.0f} ms serial -> "
+            f"{parallel:,.0f} ms on parallel lanes "
+            f"({gauge('warehouse.schedule.speedup'):.2f}x)"
+        )
+    return "\n".join(out)
+
+
 def series_ratios(numerator: Sequence[float], denominator: Sequence[float]) -> list[float]:
     """Element-wise ratio of two measured series."""
     return [n / d if d else float("inf") for n, d in zip(numerator, denominator)]

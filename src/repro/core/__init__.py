@@ -7,7 +7,7 @@ self-contained warehouse transaction.
 """
 
 from .apply import ApplyReport, OpDeltaApplier, replay_equivalence_check
-from .capture import CaptureEverythingLean, OpDeltaCapture
+from .capture import CaptureEverythingLean, OpDeltaCapture, StatementAnalyzer
 from .hybrid import AlwaysHybridPolicy, ViewAwareHybridPolicy
 from .opdelta import OpDelta, OpDeltaTransaction, OpKind, classify_statement
 from .selfmaint import (
@@ -28,6 +28,7 @@ __all__ = [
     "classify_statement",
     "OpDeltaCapture",
     "CaptureEverythingLean",
+    "StatementAnalyzer",
     "OpDeltaStore",
     "DatabaseLogStore",
     "FileLogStore",

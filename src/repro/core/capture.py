@@ -29,7 +29,17 @@ from .opdelta import OpDelta, OpKind, classify_statement
 from .stores import OpDeltaStore
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    pass
+    from ..analysis.analyzer import AnalysisRecord
+
+
+class StatementAnalyzer(Protocol):
+    """Capture-time static analysis (see :mod:`repro.analysis`).
+
+    Structural so that :mod:`repro.core` never imports the analysis layer
+    at runtime — the dependency points the other way.
+    """
+
+    def analyze_statement(self, statement: ast.Statement) -> "AnalysisRecord": ...
 
 
 class HybridPolicy(Protocol):
@@ -54,6 +64,7 @@ class OpDeltaCapture:
         store: OpDeltaStore,
         tables: set[str] | None = None,
         hybrid_policy: HybridPolicy | None = None,
+        analyzer: StatementAnalyzer | None = None,
     ) -> None:
         self.session = session
         self.store = store
@@ -61,6 +72,7 @@ class OpDeltaCapture:
         self._policy: HybridPolicy = (
             hybrid_policy if hybrid_policy is not None else CaptureEverythingLean()
         )
+        self._analyzer = analyzer
         self._sequence = 0
         self._attached = False
         self.operations_captured = 0
@@ -72,6 +84,7 @@ class OpDeltaCapture:
         self._m_statements = metrics.counter("capture.opdelta.statements")
         self._m_before_images = metrics.counter("capture.opdelta.before_images")
         self._m_overhead = metrics.counter("capture.opdelta.overhead_ms")
+        self._m_analyzed = metrics.counter("capture.opdelta.analyzed")
 
     # ------------------------------------------------------------------ wiring
     def attach(self) -> None:
@@ -125,6 +138,9 @@ class OpDeltaCapture:
             before_image=before_image,
             _parsed=statement,
         )
+        if self._analyzer is not None:
+            op.analysis = self._analyzer.analyze_statement(statement)
+            self._m_analyzed.inc()
         self.store.record(op, txn)
         self.operations_captured += 1
         self._m_statements.inc()

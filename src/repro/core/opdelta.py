@@ -21,11 +21,14 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from ..errors import OpDeltaError
 from ..sql import ast_nodes as ast
 from ..sql.parser import parse
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..analysis.analyzer import AnalysisRecord
 
 
 class OpKind(enum.Enum):
@@ -46,6 +49,11 @@ class OpDelta:
     captured_at: float
     #: Full before images of the affected rows (hybrid capture only).
     before_image: list[tuple[Any, ...]] | None = None
+    #: Static-analysis record attached at capture time when the capture
+    #: pipeline runs with an :class:`~repro.analysis.OpDeltaAnalyzer`.
+    analysis: "AnalysisRecord | None" = field(
+        default=None, repr=False, compare=False
+    )
     _parsed: ast.Statement | None = field(default=None, repr=False, compare=False)
 
     @property

@@ -95,3 +95,7 @@ class SimulationError(ReproError):
 
 class ObservabilityError(ReproError):
     """Metrics/tracing misuse (bad metric name, kind clash, span disorder)."""
+
+
+class AnalysisError(ReproError):
+    """Static Op-Delta analysis failure (unsupported statement shape)."""

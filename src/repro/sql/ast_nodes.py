@@ -122,6 +122,38 @@ class IsNull(Expression):
 
 AGGREGATE_FUNCTIONS = ("COUNT", "SUM", "AVG", "MIN", "MAX")
 
+#: Functions whose value depends on hidden session state rather than on
+#: their arguments.  The *time* functions are **pinnable**: a captured
+#: statement can be replayed deterministically by substituting the capture
+#: timestamp.  The rest are not recoverable after the fact.
+TIME_FUNCTIONS = ("NOW", "CURRENT_TIMESTAMP")
+VOLATILE_FUNCTIONS = TIME_FUNCTIONS + ("RANDOM", "SESSION_USER", "CURRENT_USER")
+
+#: Deterministic scalar functions: value is a pure function of the inputs.
+DETERMINISTIC_FUNCTIONS = ("ABS", "UPPER", "LOWER", "LENGTH", "ROUND", "COALESCE")
+
+SCALAR_FUNCTIONS = DETERMINISTIC_FUNCTIONS + VOLATILE_FUNCTIONS
+
+
+@dataclass(frozen=True)
+class FuncCall(Expression):
+    """A scalar function call, e.g. ``NOW()`` or ``ABS(delta)``.
+
+    ``function`` is stored upper-cased; whether it is volatile is a property
+    of the name (see :data:`VOLATILE_FUNCTIONS`), which is what the static
+    analyzer keys on.
+    """
+
+    function: str
+    args: tuple[Expression, ...] = ()
+
+    @property
+    def is_volatile(self) -> bool:
+        return self.function in VOLATILE_FUNCTIONS
+
+    def to_sql(self) -> str:
+        return f"{self.function}({', '.join(a.to_sql() for a in self.args)})"
+
 
 @dataclass(frozen=True)
 class Aggregate(Expression):

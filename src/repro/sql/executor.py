@@ -10,6 +10,7 @@ optimizer if the deltas form a significant portion of the table".
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Iterator
 
@@ -21,7 +22,14 @@ from ..engine.transactions import Transaction
 from ..engine.types import type_from_sql
 from ..errors import SqlAnalysisError
 from . import ast_nodes as ast
-from .expressions import evaluate, is_true, split_conjuncts
+from .expressions import (
+    NOW_KEY,
+    RANDOM_KEY,
+    USER_KEY,
+    evaluate,
+    is_true,
+    split_conjuncts,
+)
 
 #: Ranges matching more than this fraction of the table fall back to a scan.
 INDEX_SELECTIVITY_THRESHOLD = 0.05
@@ -64,9 +72,21 @@ class Executor:
 
     def __init__(self, database: Database) -> None:
         self._db = database
+        # Session randomness for RANDOM(): a *seeded* stream so whole runs
+        # stay deterministic, while the value still depends on how many
+        # draws preceded it — exactly the volatility the analyzer flags.
+        self._rng = random.Random(0x5EED)
+        self._stmt_env: dict[str, Any] = {}
 
     # ------------------------------------------------------------------ entry
     def execute(self, statement: ast.Statement, txn: Transaction) -> Result:
+        # Session context for volatile functions, fixed per statement:
+        # NOW() is the statement's virtual start time (SQL semantics).
+        self._stmt_env = {
+            NOW_KEY: self._db.clock.now,
+            RANDOM_KEY: self._rng.random,
+            USER_KEY: self._db.name,
+        }
         if isinstance(statement, ast.SelectStmt):
             return self._select(statement)
         if isinstance(statement, ast.InsertStmt):
@@ -93,8 +113,10 @@ class Executor:
     # ----------------------------------------------------------------- SELECT
     def _select(self, stmt: ast.SelectStmt) -> Result:
         if stmt.table is None:
-            # Constant SELECT (e.g. SELECT 1 + 1): evaluate against empty env.
-            row = tuple(evaluate(item.expr, {}) for item in stmt.items)
+            # Constant SELECT (e.g. SELECT 1 + 1): no row columns in scope.
+            row = tuple(
+                evaluate(item.expr, self._stmt_env) for item in stmt.items
+            )
             columns = [self._item_name(item) for item in stmt.items]
             return Result(columns=columns, rows=[row], plan="const")
 
@@ -196,11 +218,10 @@ class Executor:
                 values = table.read(row_id)
                 yield self._env(table.schema, alias, values)
 
-    @staticmethod
     def _env(
-        schema: TableSchema, alias: str, values: tuple[Any, ...]
+        self, schema: TableSchema, alias: str, values: tuple[Any, ...]
     ) -> dict[str, Any]:
-        env: dict[str, Any] = {}
+        env: dict[str, Any] = dict(self._stmt_env)
         for name, value in zip(schema.column_names, values):
             env[name] = value
             env[f"{alias}.{name}"] = value
@@ -379,7 +400,9 @@ class Executor:
         mode = InsertMode.BULK_CLIENT if len(stmt.rows) > 1 else InsertMode.STATEMENT
         count = 0
         for expr_row in stmt.rows:
-            literal_row = tuple(evaluate(expr, {}) for expr in expr_row)
+            literal_row = tuple(
+                evaluate(expr, self._stmt_env) for expr in expr_row
+            )
             values = self._arrange(table.schema, stmt.columns, literal_row)
             table.insert(txn, values, mode=mode)
             count += 1

@@ -36,6 +36,8 @@ def evaluate(expr: ast.Expression, env: Mapping[str, Any]) -> Any:
     if isinstance(expr, ast.IsNull):
         value = evaluate(expr.expr, env)
         return (value is not None) if expr.negated else (value is None)
+    if isinstance(expr, ast.FuncCall):
+        return _func_call(expr, env)
     if isinstance(expr, ast.Star):
         raise SqlAnalysisError("'*' is only valid directly in a select list")
     if isinstance(expr, ast.Aggregate):
@@ -187,6 +189,67 @@ def _like(expr: ast.Like, env: Mapping[str, Any]) -> Any:
     return (not matched) if expr.negated else matched
 
 
+#: Environment keys under which the executor exposes session state to
+#: volatile functions.  ``__now__`` is the statement's virtual start time;
+#: ``__random__`` is a zero-argument draw from the session's seeded RNG;
+#: ``__user__`` identifies the session.  Evaluating a volatile function
+#: without its key raises: the expression genuinely cannot be computed
+#: from the row alone, which is exactly what the static analyzer flags.
+NOW_KEY = "__now__"
+RANDOM_KEY = "__random__"
+USER_KEY = "__user__"
+
+
+def _func_call(expr: ast.FuncCall, env: Mapping[str, Any]) -> Any:
+    name = expr.function
+    if name in ast.TIME_FUNCTIONS:
+        if NOW_KEY not in env:
+            raise SqlAnalysisError(
+                f"{name}() needs session time context (volatile function)"
+            )
+        return env[NOW_KEY]
+    if name == "RANDOM":
+        draw = env.get(RANDOM_KEY)
+        if draw is None:
+            raise SqlAnalysisError("RANDOM() needs session randomness (volatile)")
+        return draw()
+    if name in ("SESSION_USER", "CURRENT_USER"):
+        user = env.get(USER_KEY)
+        if user is None:
+            raise SqlAnalysisError(f"{name}() needs a session context (volatile)")
+        return user
+    args = [evaluate(arg, env) for arg in expr.args]
+    if name == "COALESCE":
+        if not args:
+            raise SqlAnalysisError("COALESCE needs at least one argument")
+        for value in args:
+            if value is not None:
+                return value
+        return None
+    if len(args) != 1:
+        raise SqlAnalysisError(f"{name} takes exactly one argument, got {len(args)}")
+    value = args[0]
+    if value is None:
+        return None
+    if name == "ABS":
+        if not isinstance(value, (int, float)):
+            raise SqlAnalysisError(f"ABS requires a number, got {value!r}")
+        return abs(value)
+    if name == "ROUND":
+        if not isinstance(value, (int, float)):
+            raise SqlAnalysisError(f"ROUND requires a number, got {value!r}")
+        return round(value)
+    if name in ("UPPER", "LOWER", "LENGTH"):
+        if not isinstance(value, str):
+            raise SqlAnalysisError(f"{name} requires a string, got {value!r}")
+        if name == "UPPER":
+            return value.upper()
+        if name == "LOWER":
+            return value.lower()
+        return len(value)
+    raise SqlAnalysisError(f"unknown function {name!r}")
+
+
 def _truth(value: Any) -> bool:
     if isinstance(value, bool):
         return value
@@ -226,10 +289,45 @@ def referenced_columns(expr: ast.Expression) -> set[str]:
             walk(node.high)
         elif isinstance(node, (ast.Like, ast.IsNull)):
             walk(node.expr)
+        elif isinstance(node, ast.FuncCall):
+            for arg in node.args:
+                walk(arg)
         elif isinstance(node, ast.Aggregate) and node.argument is not None:
             walk(node.argument)
 
     walk(expr)
+    return found
+
+
+def referenced_functions(expr: ast.Expression | None) -> set[str]:
+    """All scalar function names invoked anywhere in an expression."""
+    found: set[str] = set()
+
+    def walk(node: ast.Expression) -> None:
+        if isinstance(node, ast.FuncCall):
+            found.add(node.function)
+            for arg in node.args:
+                walk(arg)
+        elif isinstance(node, ast.BinaryOp):
+            walk(node.left)
+            walk(node.right)
+        elif isinstance(node, ast.UnaryOp):
+            walk(node.operand)
+        elif isinstance(node, ast.InList):
+            walk(node.expr)
+            for item in node.items:
+                walk(item)
+        elif isinstance(node, ast.Between):
+            walk(node.expr)
+            walk(node.low)
+            walk(node.high)
+        elif isinstance(node, (ast.Like, ast.IsNull)):
+            walk(node.expr)
+        elif isinstance(node, ast.Aggregate) and node.argument is not None:
+            walk(node.argument)
+
+    if expr is not None:
+        walk(expr)
     return found
 
 

@@ -434,11 +434,30 @@ class _Parser:
             self._expect(TokenKind.SYMBOL, ")")
             return expr
         if token.kind is TokenKind.IDENT:
+            following = self._tokens[self._pos + 1]
+            if following.matches(TokenKind.SYMBOL, "("):
+                return self._func_call()
             return self._column_ref()
         raise SqlSyntaxError(
             f"unexpected token {token.text or 'end of input'!r} at position "
             f"{token.position} in expression"
         )
+
+    def _func_call(self) -> ast.FuncCall:
+        name = self._expect(TokenKind.IDENT).text.upper()
+        if name not in ast.SCALAR_FUNCTIONS:
+            raise SqlSyntaxError(
+                f"unknown function {name!r}; supported scalar functions: "
+                f"{', '.join(sorted(ast.SCALAR_FUNCTIONS))}"
+            )
+        self._expect(TokenKind.SYMBOL, "(")
+        args: list[ast.Expression] = []
+        if not self._check(TokenKind.SYMBOL, ")"):
+            args.append(self._expression())
+            while self._accept(TokenKind.SYMBOL, ","):
+                args.append(self._expression())
+        self._expect(TokenKind.SYMBOL, ")")
+        return ast.FuncCall(name, tuple(args))
 
     def _column_ref(self) -> ast.ColumnRef:
         first = self._expect(TokenKind.IDENT).text

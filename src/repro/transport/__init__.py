@@ -2,12 +2,13 @@
 
 from .network import NetworkModel, TransferRecord
 from .queue import PersistentQueue
-from .shipper import FileShipper, enqueue_op_deltas
+from .shipper import FileShipper, TransactionPruner, enqueue_op_deltas
 
 __all__ = [
     "NetworkModel",
     "TransferRecord",
     "PersistentQueue",
     "FileShipper",
+    "TransactionPruner",
     "enqueue_op_deltas",
 ]

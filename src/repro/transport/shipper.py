@@ -8,7 +8,7 @@ one call and the right payload sizes.
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Iterable, Protocol
 
 from ..core.opdelta import OpDeltaTransaction
 from ..engine.snapshots import Snapshot
@@ -17,6 +17,32 @@ from ..engine.wal import LogSegment
 from ..extraction.deltas import DeltaBatch
 from .network import NetworkModel
 from .queue import PersistentQueue
+
+
+class TransactionPruner(Protocol):
+    """View-relevance pruning at the transport boundary.
+
+    Structural stand-in for :class:`repro.analysis.OpDeltaAnalyzer` so the
+    transport layer stays independent of the analysis package: statements
+    no warehouse view can observe are dropped *before* they cost network
+    bytes or queue space.
+    """
+
+    def prune_transaction(
+        self, group: OpDeltaTransaction
+    ) -> OpDeltaTransaction | None: ...
+
+
+def _pruned_groups(
+    groups: Iterable[OpDeltaTransaction], pruner: TransactionPruner | None
+) -> Iterable[OpDeltaTransaction]:
+    if pruner is None:
+        yield from groups
+        return
+    for group in groups:
+        kept = pruner.prune_transaction(group)
+        if kept is not None:
+            yield kept
 
 
 class FileShipper:
@@ -45,18 +71,30 @@ class FileShipper:
         )
         return self._network.transfer(payload, "log-segments")
 
-    def ship_op_deltas(self, groups: Iterable[OpDeltaTransaction]) -> float:
-        payload = sum(group.size_bytes for group in groups)
+    def ship_op_deltas(
+        self,
+        groups: Iterable[OpDeltaTransaction],
+        pruner: TransactionPruner | None = None,
+    ) -> float:
+        payload = sum(
+            group.size_bytes for group in _pruned_groups(groups, pruner)
+        )
         return self._network.transfer(payload, "op-deltas")
 
 
 def enqueue_op_deltas(
     queue: PersistentQueue[OpDeltaTransaction],
     groups: Iterable[OpDeltaTransaction],
+    pruner: TransactionPruner | None = None,
 ) -> int:
-    """Feed Op-Delta groups into a persistent queue (one message per txn)."""
+    """Feed Op-Delta groups into a persistent queue (one message per txn).
+
+    With a ``pruner``, statements irrelevant to every warehouse view are
+    dropped first and transactions left empty by pruning are not enqueued
+    at all.
+    """
     count = 0
-    for group in groups:
+    for group in _pruned_groups(groups, pruner):
         queue.enqueue(group, group.size_bytes)
         count += 1
     return count

@@ -10,7 +10,9 @@ from .opdelta_integrator import OpDeltaIntegrator
 from .scheduler import (
     AvailabilityReport,
     QueryRecord,
+    ScheduleReport,
     run_availability_experiment,
+    run_conflict_schedule,
 )
 from .value_integrator import IntegrationReport, ValueDeltaIntegrator
 from .views import MaterializedView
@@ -32,4 +34,6 @@ __all__ = [
     "AvailabilityReport",
     "QueryRecord",
     "run_availability_experiment",
+    "ScheduleReport",
+    "run_conflict_schedule",
 ]

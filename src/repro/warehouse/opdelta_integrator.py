@@ -6,17 +6,34 @@ maintained inside the same transaction.  Because every group is short and
 self-contained, the integrator can interleave with OLAP queries — the
 availability experiment (:mod:`repro.warehouse.scheduler`) exploits the
 per-transaction timings this integrator reports.
+
+When an :class:`~repro.analysis.OpDeltaAnalyzer` is supplied (or the
+capture pipeline already attached analysis records to the operations), the
+integrator additionally:
+
+* **skips** statements the analyzer pruned as irrelevant to every view and
+  mirror;
+* **pins** time-dependent statements — ``NOW()`` is rewritten to the
+  capture timestamp so the replay is faithful to the source execution;
+* **falls back** to the captured before image for volatile statements that
+  cannot be replayed (a volatile DELETE is re-expressed as a
+  delete-by-key of the imaged rows; a volatile UPDATE/INSERT without a
+  recoverable after state is rejected with a pointer at hybrid capture).
 """
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Iterable, Sequence
 
+from ..analysis.analyzer import AnalysisRecord, OpDeltaAnalyzer, pin_time_functions
+from ..analysis.safety import Determinism
 from ..core.apply import OpDeltaApplier
-from ..core.opdelta import OpDeltaTransaction
+from ..core.opdelta import OpDelta, OpDeltaTransaction, OpKind
 from ..core.transform import StatementTransformer
 from ..engine.session import Session
 from ..errors import WarehouseError
+from ..sql import ast_nodes as ast
 from .value_integrator import IntegrationReport
 from .views import MaterializedView
 
@@ -30,6 +47,7 @@ class OpDeltaIntegrator:
         transformer: StatementTransformer | None = None,
         views: Sequence[MaterializedView] = (),
         maintain_mirrors: bool = True,
+        analyzer: OpDeltaAnalyzer | None = None,
     ) -> None:
         self._session = session
         self._applier = OpDeltaApplier(session, transformer)
@@ -38,6 +56,7 @@ class OpDeltaIntegrator:
         self._transformer = (
             transformer if transformer is not None else StatementTransformer()
         )
+        self._analyzer = analyzer
 
     def integrate(self, groups: Iterable[OpDeltaTransaction]) -> IntegrationReport:
         """Apply each source transaction as its own warehouse transaction."""
@@ -58,13 +77,16 @@ class OpDeltaIntegrator:
         assert txn is not None
         try:
             for op in group.operations:
+                prepared = self._prepare(op, report)
+                if prepared is None:
+                    continue
                 if self._maintain_mirrors:
-                    statement = self._transformer.transform(op.statement)
+                    statement = self._transformer.transform(prepared.statement)
                     result = self._session.execute_statement(statement)
                     report.statements_issued += 1
                     report.rows_affected += result.rows_affected
                 for view in self._views:
-                    view.apply_operation(op, txn)
+                    view.apply_operation(prepared, txn)
         except Exception as exc:
             if self._session.in_transaction:
                 self._session.rollback()
@@ -73,3 +95,79 @@ class OpDeltaIntegrator:
                 f"failed: {exc}"
             ) from exc
         self._session.commit()
+
+    # ------------------------------------------------------- analyzer-driven
+    def _prepare(
+        self, op: OpDelta, report: IntegrationReport
+    ) -> OpDelta | None:
+        """Apply the static-analysis verdict to one operation.
+
+        Returns the (possibly rewritten) operation to replay, or ``None``
+        when the statement was pruned or resolved entirely by fallback.
+        """
+        record = self._record_for(op)
+        if record is None:
+            return op
+        if record.pruned:
+            report.statements_pruned += 1
+            return None
+        if record.pinnable:
+            pinned = pin_time_functions(op.statement, op.captured_at)
+            report.statements_pinned += 1
+            return dataclasses.replace(
+                op, statement_text=pinned.to_sql(), _parsed=pinned
+            )
+        if record.determinism is Determinism.VOLATILE:
+            return self._volatile_fallback(op, report)
+        return op
+
+    def _record_for(self, op: OpDelta) -> AnalysisRecord | None:
+        if op.analysis is not None:
+            return op.analysis
+        if self._analyzer is not None:
+            return self._analyzer.analyze_op(op)
+        return None
+
+    def _volatile_fallback(
+        self, op: OpDelta, report: IntegrationReport
+    ) -> OpDelta | None:
+        """Re-express a volatile statement from its captured before image.
+
+        Only a DELETE can be recovered this way: the before image names the
+        rows that disappeared, and removing them by key is order- and
+        time-independent.  A volatile UPDATE or INSERT has an after state
+        that only the source execution knew, so it cannot be replayed from
+        the operation at all.
+        """
+        if op.kind is not OpKind.DELETE or op.before_image is None:
+            raise WarehouseError(
+                f"volatile {op.kind.value} on {op.table!r} cannot be replayed "
+                "from the operation alone; capture it with a hybrid policy "
+                "(before images) or route the table through value deltas"
+            )
+        # Only the table name is needed here; transforming the volatile
+        # statement itself could fail on the very expressions (RANDOM() etc.)
+        # that forced the fallback.
+        target = self._transformer.mapping_for(op.table).target_table
+        schema = self._session.database.table(target).schema
+        key_index = schema.primary_key_index()
+        if schema.primary_key is None or key_index is None:
+            raise WarehouseError(
+                f"volatile DELETE fallback on {op.table!r} needs a primary "
+                "key to address the imaged rows"
+            )
+        report.fallback_images_applied += 1
+        if not op.before_image:
+            return None  # the delete matched no rows at the source
+        keys = tuple(
+            ast.Literal(row[key_index]) for row in op.before_image
+        )
+        where: ast.Expression
+        if len(keys) == 1:
+            where = ast.BinaryOp("=", ast.ColumnRef(schema.primary_key), keys[0])
+        else:
+            where = ast.InList(ast.ColumnRef(schema.primary_key), keys)
+        rewritten = ast.DeleteStmt(table=op.table, where=where)
+        return dataclasses.replace(
+            op, statement_text=rewritten.to_sql(), _parsed=rewritten
+        )

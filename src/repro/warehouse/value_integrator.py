@@ -38,6 +38,14 @@ class IntegrationReport:
     elapsed_ms: float = 0.0
     transactions: int = 0
     per_transaction_ms: list[float] = field(default_factory=list)
+    #: Statements dropped by view-relevance pruning (op-delta mode only).
+    statements_pruned: int = 0
+    #: Time-dependent statements replayed with their capture timestamp
+    #: substituted for ``NOW()`` (op-delta mode only).
+    statements_pinned: int = 0
+    #: Volatile statements replayed from their captured before image
+    #: instead of by re-execution (op-delta mode only).
+    fallback_images_applied: int = 0
 
     @property
     def mean_transaction_ms(self) -> float:

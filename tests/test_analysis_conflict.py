@@ -1,0 +1,180 @@
+"""Conflict graph construction and the conflict-aware schedule."""
+
+import pytest
+
+from repro.analysis.conflict import (
+    build_conflict_graph,
+    parallel_order,
+    transactions_conflict,
+)
+from repro.analysis.rwsets import extract_footprint
+from repro.core.opdelta import OpDelta, OpDeltaTransaction, OpKind
+from repro.errors import SimulationError
+from repro.obs.metrics import MetricsRegistry
+from repro.sql.parser import parse
+from repro.warehouse import run_conflict_schedule
+
+KEYS = {"t": "id"}
+
+
+def txn(txn_id, *statements):
+    ops = []
+    for seq, sql in enumerate(statements):
+        parsed = parse(sql)
+        kind = {
+            "InsertStmt": OpKind.INSERT,
+            "UpdateStmt": OpKind.UPDATE,
+            "DeleteStmt": OpKind.DELETE,
+        }[type(parsed).__name__]
+        ops.append(
+            OpDelta(
+                statement_text=sql,
+                table=parsed.table,
+                kind=kind,
+                txn_id=txn_id,
+                sequence=seq,
+                captured_at=float(txn_id),
+            )
+        )
+    return OpDeltaTransaction(txn_id=txn_id, operations=ops)
+
+
+def fps(*sqls):
+    return [extract_footprint(parse(s)) for s in sqls]
+
+
+class TestTransactionsConflict:
+    def test_any_non_commuting_pair_conflicts(self):
+        a = fps("UPDATE t SET a = 1 WHERE id >= 0 AND id < 10")
+        b = fps(
+            "UPDATE t SET a = 2 WHERE id >= 10 AND id < 20",
+            "UPDATE t SET a = 3 WHERE id >= 5 AND id < 8",
+        )
+        assert transactions_conflict(a, b, KEYS)
+
+    def test_all_commuting_pairs_no_conflict(self):
+        a = fps("UPDATE t SET a = 1 WHERE id >= 0 AND id < 10")
+        b = fps("UPDATE t SET a = 2 WHERE id >= 10 AND id < 20")
+        assert not transactions_conflict(a, b, KEYS)
+
+
+class TestBuildConflictGraph:
+    def make_groups(self):
+        return [
+            txn(1, "UPDATE t SET a = 1 WHERE id >= 0 AND id < 10"),
+            txn(2, "UPDATE t SET a = 2 WHERE id >= 10 AND id < 20"),
+            txn(3, "UPDATE t SET a = 3 WHERE id >= 5 AND id < 15"),
+            txn(4, "UPDATE t SET a = 4 WHERE id >= 100 AND id < 110"),
+        ]
+
+    def test_components_and_edges(self):
+        graph = build_conflict_graph(self.make_groups(), key_columns=KEYS)
+        # txn 3 overlaps both 1 and 2; txn 4 is independent.
+        assert set(graph.edges) == {(1, 3), (2, 3)}
+        assert graph.component_count == 2
+        assert graph.largest_component == 3
+        assert graph.component_of(1) == (1, 2, 3)
+        assert graph.component_of(4) == (4,)
+
+    def test_component_of_unknown_raises(self):
+        graph = build_conflict_graph(self.make_groups(), key_columns=KEYS)
+        with pytest.raises(KeyError):
+            graph.component_of(99)
+
+    def test_metrics_emitted(self):
+        registry = MetricsRegistry()
+        build_conflict_graph(
+            self.make_groups(), key_columns=KEYS, metrics=registry
+        )
+        snap = registry.snapshot()
+        assert snap["counters"]["analysis.conflict.edges"] == 2
+        assert snap["gauges"]["analysis.conflict.components"]["value"] == 2
+        assert (
+            snap["gauges"]["analysis.conflict.largest_component"]["value"] == 3
+        )
+
+    def test_time_dependent_statements_are_pinned_not_poisoned(self):
+        # NOW() is pinned to the capture timestamp before footprint
+        # extraction, so a time-dependent txn only conflicts on real
+        # row-range overlap — it must not serialise the whole batch.
+        groups = [
+            txn(1, "UPDATE t SET a = NOW() WHERE id >= 0 AND id < 10"),
+            txn(2, "UPDATE t SET a = 2 WHERE id >= 10 AND id < 20"),
+        ]
+        graph = build_conflict_graph(groups, key_columns=KEYS)
+        assert graph.edges == ()
+        assert graph.component_count == 2
+
+    def test_volatile_statements_conflict_with_everything(self):
+        groups = [
+            txn(1, "UPDATE t SET a = RANDOM() WHERE id >= 0 AND id < 10"),
+            txn(2, "UPDATE t SET a = 2 WHERE id >= 10 AND id < 20"),
+        ]
+        graph = build_conflict_graph(groups, key_columns=KEYS)
+        assert graph.edges == ((1, 2),)
+
+    def test_empty_batch(self):
+        graph = build_conflict_graph([])
+        assert graph.component_count == 0
+        assert graph.largest_component == 0
+
+
+class TestParallelOrder:
+    def test_interleaves_components_preserving_internal_order(self):
+        groups = [
+            txn(1, "UPDATE t SET a = 1 WHERE id >= 0 AND id < 10"),
+            txn(2, "UPDATE t SET a = 2 WHERE id >= 100 AND id < 110"),
+            txn(3, "UPDATE t SET a = 3 WHERE id >= 5 AND id < 15"),
+            txn(4, "UPDATE t SET a = 4 WHERE id >= 105 AND id < 115"),
+        ]
+        graph = build_conflict_graph(groups, key_columns=KEYS)
+        ordered = parallel_order(groups, graph)
+        ids = [g.txn_id for g in ordered]
+        assert sorted(ids) == [1, 2, 3, 4]
+        # Capture order within each conflict component is preserved.
+        assert ids.index(1) < ids.index(3)
+        assert ids.index(2) < ids.index(4)
+        # And the components are actually interleaved, not concatenated.
+        assert ids != [1, 3, 2, 4]
+
+
+class TestRunConflictSchedule:
+    def test_speedup_on_independent_components(self):
+        report = run_conflict_schedule([[100.0], [100.0], [100.0], [100.0]],
+                                       workers=4)
+        assert report.serial_ms == 400.0
+        assert report.parallel_ms == 100.0
+        assert report.speedup == 4.0
+        assert report.components == 4
+        assert report.transactions == 4
+
+    def test_single_component_cannot_parallelise(self):
+        report = run_conflict_schedule([[50.0, 50.0, 50.0]], workers=4)
+        assert report.parallel_ms == 150.0
+        assert report.speedup == 1.0
+
+    def test_lpt_balances_lanes(self):
+        # Longest component first: [300] one lane, [100,100,100] the other.
+        report = run_conflict_schedule(
+            [[100.0], [300.0], [100.0], [100.0]], workers=2
+        )
+        assert report.serial_ms == 600.0
+        assert report.parallel_ms == 300.0
+
+    def test_workers_must_be_positive(self):
+        with pytest.raises(SimulationError):
+            run_conflict_schedule([[10.0]], workers=0)
+
+    def test_metrics_emitted(self):
+        registry = MetricsRegistry()
+        run_conflict_schedule([[100.0], [100.0]], workers=2, metrics=registry)
+        gauges = registry.snapshot()["gauges"]
+        assert gauges["warehouse.schedule.serial_ms"]["value"] == 200.0
+        assert gauges["warehouse.schedule.parallel_ms"]["value"] == 100.0
+        assert gauges["warehouse.schedule.speedup"]["value"] == 2.0
+
+    def test_empty_schedule(self):
+        report = run_conflict_schedule([], workers=2)
+        assert report.serial_ms == 0.0
+        assert report.parallel_ms == 0.0
+        assert report.speedup == 1.0

@@ -1,0 +1,313 @@
+"""Determinism, pinning, idempotence and commutativity judgements.
+
+The commutativity cases are validated *dynamically* where practical: for
+pairs the analyzer calls commuting, both application orders are executed
+against a live engine and the final states compared.
+"""
+
+import pytest
+
+from repro.analysis.rwsets import extract_footprint
+from repro.analysis.safety import (
+    Determinism,
+    commutes,
+    is_idempotent,
+    pin_time_functions,
+    statement_determinism,
+)
+from repro.engine import Database
+from repro.sql.parser import parse
+
+KEYS = {"t": "id"}
+
+
+def fp(sql, table_columns=None):
+    return extract_footprint(parse(sql), table_columns)
+
+
+def det(sql):
+    return statement_determinism(parse(sql))
+
+
+class TestDeterminism:
+    def test_plain_dml_is_deterministic(self):
+        assert det("UPDATE t SET a = a + 1 WHERE k = 2") is Determinism.DETERMINISTIC
+        assert det("DELETE FROM t WHERE k < 5") is Determinism.DETERMINISTIC
+        assert det("INSERT INTO t (id) VALUES (1)") is Determinism.DETERMINISTIC
+
+    def test_now_is_time_dependent(self):
+        assert det("UPDATE t SET ts = NOW() WHERE k = 1") is Determinism.TIME_DEPENDENT
+        assert det("DELETE FROM t WHERE ts < NOW()") is Determinism.TIME_DEPENDENT
+        assert det("INSERT INTO t (ts) VALUES (NOW())") is Determinism.TIME_DEPENDENT
+
+    def test_random_is_volatile(self):
+        assert det("UPDATE t SET a = RANDOM() WHERE k = 1") is Determinism.VOLATILE
+
+    def test_volatile_dominates_time(self):
+        assert (
+            det("UPDATE t SET a = RANDOM(), ts = NOW() WHERE k = 1")
+            is Determinism.VOLATILE
+        )
+
+    def test_nested_function_args_are_walked(self):
+        assert (
+            det("UPDATE t SET a = ABS(ROUND(NOW())) WHERE k = 1")
+            is Determinism.TIME_DEPENDENT
+        )
+
+    def test_replayable(self):
+        assert Determinism.DETERMINISTIC.replayable
+        assert Determinism.TIME_DEPENDENT.replayable
+        assert not Determinism.VOLATILE.replayable
+
+
+class TestPinning:
+    def test_pin_update_assignment_and_where(self):
+        stmt = parse("UPDATE t SET ts = NOW() WHERE ts < CURRENT_TIMESTAMP")
+        pinned = pin_time_functions(stmt, 12345.0)
+        assert statement_determinism(pinned) is Determinism.DETERMINISTIC
+        assert "12345" in pinned.to_sql()
+        assert "NOW" not in pinned.to_sql().upper()
+
+    def test_pin_inside_nested_call(self):
+        stmt = parse("UPDATE t SET a = ABS(NOW()) WHERE k = 1")
+        pinned = pin_time_functions(stmt, 7.0)
+        assert statement_determinism(pinned) is Determinism.DETERMINISTIC
+
+    def test_pin_leaves_original_untouched(self):
+        stmt = parse("UPDATE t SET ts = NOW() WHERE k = 1")
+        pin_time_functions(stmt, 99.0)
+        assert statement_determinism(stmt) is Determinism.TIME_DEPENDENT
+
+    def test_pin_does_not_touch_volatile(self):
+        stmt = parse("UPDATE t SET a = RANDOM() WHERE k = 1")
+        pinned = pin_time_functions(stmt, 5.0)
+        assert statement_determinism(pinned) is Determinism.VOLATILE
+
+    def test_pinned_replay_matches_capture_time(self):
+        # Executing the pinned form must write the pinned value, not the
+        # engine's own clock.
+        db = Database("pin_check").internal_session()
+        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, ts TIMESTAMP)")
+        db.execute("INSERT INTO t (id, ts) VALUES (1, 0)")
+        pinned = pin_time_functions(
+            parse("UPDATE t SET ts = NOW() WHERE id = 1"), 4242.0
+        )
+        db.execute(pinned.to_sql())
+        rows = db.execute("SELECT ts FROM t WHERE id = 1").rows
+        assert rows[0][0] == 4242.0
+
+
+class TestIdempotence:
+    def test_literal_update_idempotent(self):
+        assert is_idempotent(fp("UPDATE t SET a = 5 WHERE k = 1"))
+
+    def test_accumulating_update_not_idempotent(self):
+        assert not is_idempotent(fp("UPDATE t SET a = a + 1 WHERE k = 1"))
+
+    def test_cross_column_read_of_assigned_not_idempotent(self):
+        # b's new value depends on whether a was already rewritten.
+        assert not is_idempotent(fp("UPDATE t SET a = 5, b = a + 1 WHERE k = 1"))
+
+    def test_where_on_assigned_column_needs_literal(self):
+        assert is_idempotent(fp("UPDATE t SET a = 5 WHERE a = 1"))
+        assert not is_idempotent(fp("UPDATE t SET a = b WHERE a = 1"))
+
+    def test_delete_idempotent(self):
+        assert is_idempotent(fp("DELETE FROM t WHERE k < 10"))
+
+    def test_insert_never_idempotent(self):
+        assert not is_idempotent(fp("INSERT INTO t (id) VALUES (1)"))
+
+    def test_time_dependent_not_idempotent(self):
+        assert not is_idempotent(fp("UPDATE t SET a = NOW() WHERE k = 1"))
+
+    def test_idempotent_update_applied_twice_dynamically(self):
+        db = Database("idem").internal_session()
+        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, a INTEGER)")
+        db.execute("INSERT INTO t (id, a) VALUES (1, 0), (2, 0)")
+        sql = "UPDATE t SET a = 7 WHERE id = 1"
+        assert is_idempotent(fp(sql))
+        db.execute(sql)
+        once = db.execute("SELECT id, a FROM t").rows
+        db.execute(sql)
+        assert db.execute("SELECT id, a FROM t").rows == once
+
+
+def _apply_orders(setup_rows, sql_a, sql_b):
+    """Run a;b and b;a on identical tables, return both final states."""
+    states = []
+    for first, second in ((sql_a, sql_b), (sql_b, sql_a)):
+        db = Database("order_check").internal_session()
+        db.execute(
+            "CREATE TABLE t (id INTEGER PRIMARY KEY, a INTEGER, b INTEGER)"
+        )
+        for row in setup_rows:
+            db.execute("INSERT INTO t (id, a, b) VALUES (%d, %d, %d)" % row)
+        db.execute(first)
+        db.execute(second)
+        states.append(sorted(db.execute("SELECT id, a, b FROM t").rows))
+    return states
+
+
+class TestCommutes:
+    ROWS = [(1, 10, 100), (2, 20, 200), (3, 30, 300)]
+
+    def assert_commutes_and_verify(self, sql_a, sql_b):
+        assert commutes(fp(sql_a), fp(sql_b), KEYS)
+        state_ab, state_ba = _apply_orders(self.ROWS, sql_a, sql_b)
+        assert state_ab == state_ba
+
+    def test_different_tables(self):
+        assert commutes(
+            fp("UPDATE t SET a = 1 WHERE id = 1"),
+            fp("UPDATE u SET a = 2 WHERE id = 1"),
+            KEYS,
+        )
+
+    def test_disjoint_range_updates(self):
+        self.assert_commutes_and_verify(
+            "UPDATE t SET a = 1 WHERE id >= 1 AND id < 2",
+            "UPDATE t SET a = 2 WHERE id >= 2 AND id < 3",
+        )
+
+    def test_overlapping_literal_updates_same_column_conflict(self):
+        assert not commutes(
+            fp("UPDATE t SET a = 1 WHERE id < 3"),
+            fp("UPDATE t SET a = 2 WHERE id < 3"),
+            KEYS,
+        )
+
+    def test_additive_same_op_commutes(self):
+        self.assert_commutes_and_verify(
+            "UPDATE t SET a = a + 5",
+            "UPDATE t SET a = a + 7",
+        )
+
+    def test_mixed_plus_times_conflict(self):
+        assert not commutes(
+            fp("UPDATE t SET a = a + 5"),
+            fp("UPDATE t SET a = a * 2"),
+            KEYS,
+        )
+
+    def test_where_reads_assigned_column_conflict(self):
+        assert not commutes(
+            fp("UPDATE t SET a = a + 1 WHERE a < 50"),
+            fp("UPDATE t SET a = a + 1"),
+            KEYS,
+        )
+
+    def test_other_assignment_reads_accumulated_column_conflict(self):
+        # d = a * 2 observes a's accumulated value: order shows through.
+        assert not commutes(
+            fp("UPDATE t SET a = a + 1, b = a * 2"),
+            fp("UPDATE t SET a = a + 1"),
+            KEYS,
+        )
+
+    def test_update_can_move_rows_into_range_conflict(self):
+        # b sets id-constrained column a to a value inside a's range.
+        assert not commutes(
+            fp("UPDATE t SET b = 0 WHERE a >= 0 AND a < 50"),
+            fp("UPDATE t SET a = 10 WHERE id = 3"),
+            KEYS,
+        )
+
+    def test_deletes_commute(self):
+        self.assert_commutes_and_verify(
+            "DELETE FROM t WHERE id = 1",
+            "DELETE FROM t WHERE id = 2",
+        )
+        # Even overlapping deletes commute: deletion is order-free.
+        assert commutes(
+            fp("DELETE FROM t WHERE a < 50"),
+            fp("DELETE FROM t WHERE a < 100"),
+            KEYS,
+        )
+
+    def test_delete_update_no_interference(self):
+        self.assert_commutes_and_verify(
+            "DELETE FROM t WHERE id = 1",
+            "UPDATE t SET a = 99 WHERE id = 2",
+        )
+
+    def test_delete_update_membership_interference(self):
+        # The update rewrites a column the delete's WHERE reads, over
+        # possibly-shared rows: order decides who survives.
+        assert not commutes(
+            fp("DELETE FROM t WHERE a < 50"),
+            fp("UPDATE t SET a = 0 WHERE id >= 1"),
+            KEYS,
+        )
+
+    def test_inserts_with_disjoint_keys(self):
+        self.assert_commutes_and_verify(
+            "INSERT INTO t (id, a, b) VALUES (10, 0, 0)",
+            "INSERT INTO t (id, a, b) VALUES (11, 0, 0)",
+        )
+
+    def test_inserts_without_key_knowledge_conflict(self):
+        assert not commutes(
+            fp("INSERT INTO t (id, a, b) VALUES (10, 0, 0)"),
+            fp("INSERT INTO t (id, a, b) VALUES (11, 0, 0)"),
+            None,  # no key_columns: cannot prove disjoint keys
+        )
+
+    def test_inserts_with_same_key_conflict(self):
+        assert not commutes(
+            fp("INSERT INTO t (id, a, b) VALUES (10, 0, 0)"),
+            fp("INSERT INTO t (id, a, b) VALUES (10, 1, 1)"),
+            KEYS,
+        )
+
+    def test_insert_update_disjoint(self):
+        self.assert_commutes_and_verify(
+            "INSERT INTO t (id, a, b) VALUES (10, 500, 0)",
+            "UPDATE t SET b = 1 WHERE a < 100",
+        )
+
+    def test_insert_into_update_range_conflict(self):
+        assert not commutes(
+            fp("INSERT INTO t (id, a, b) VALUES (10, 5, 0)"),
+            fp("UPDATE t SET b = 1 WHERE a < 100"),
+            KEYS,
+        )
+
+    def test_delete_insert_disjoint_keys(self):
+        self.assert_commutes_and_verify(
+            "DELETE FROM t WHERE id >= 1 AND id < 3",
+            "INSERT INTO t (id, a, b) VALUES (10, 0, 0)",
+        )
+
+    def test_delete_insert_overlapping_keys_conflict(self):
+        assert not commutes(
+            fp("DELETE FROM t WHERE id >= 1 AND id < 20"),
+            fp("INSERT INTO t (id, a, b) VALUES (10, 0, 0)"),
+            KEYS,
+        )
+
+    def test_time_dependent_never_commutes(self):
+        assert not commutes(
+            fp("UPDATE t SET a = NOW() WHERE id = 1"),
+            fp("UPDATE t SET a = 0 WHERE id = 2"),
+            KEYS,
+        )
+
+    def test_symmetry(self):
+        pairs = [
+            ("UPDATE t SET a = 1 WHERE id >= 1 AND id < 2",
+             "UPDATE t SET a = 2 WHERE id >= 2 AND id < 3"),
+            ("DELETE FROM t WHERE a < 50",
+             "UPDATE t SET a = 0 WHERE id >= 1"),
+            ("INSERT INTO t (id, a, b) VALUES (10, 0, 0)",
+             "UPDATE t SET b = 1 WHERE a < 100"),
+        ]
+        for sql_a, sql_b in pairs:
+            assert commutes(fp(sql_a), fp(sql_b), KEYS) == commutes(
+                fp(sql_b), fp(sql_a), KEYS
+            )
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))

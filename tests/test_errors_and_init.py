@@ -76,5 +76,6 @@ class TestPublicSurfaces:
             "maintenance_window", "remote_trigger", "online_maintenance",
             "snapshot_algorithms", "hybrid_capture", "timestamp_index",
             "freshness", "capture_levels", "aggregate_views", "sensitivity",
+            "analysis",
         }
         assert set(REGISTRY) == expected

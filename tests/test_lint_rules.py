@@ -1,0 +1,127 @@
+"""The project-specific AST lint (tools/lint_rules.py)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "tools"))
+
+import lint_rules  # noqa: E402
+
+
+def lint_source(tmp_path, source, name="module.py"):
+    path = tmp_path / name
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source, encoding="utf-8")
+    return lint_rules.lint_file(path)
+
+
+class TestRepro001WallClock:
+    def test_time_time_flagged(self, tmp_path):
+        violations = lint_source(tmp_path, "import time\nx = time.time()\n")
+        assert len(violations) == 1
+        assert "REPRO001" in violations[0]
+        assert "time.time" in violations[0]
+
+    def test_datetime_now_flagged(self, tmp_path):
+        violations = lint_source(
+            tmp_path, "import datetime\nx = datetime.datetime.now()\n"
+        )
+        assert any("REPRO001" in v for v in violations)
+
+    def test_module_level_random_flagged(self, tmp_path):
+        violations = lint_source(tmp_path, "import random\nx = random.randint(1, 6)\n")
+        assert any("REPRO001" in v for v in violations)
+
+    def test_seeded_random_instance_allowed(self, tmp_path):
+        violations = lint_source(
+            tmp_path,
+            "import random\nrng = random.Random(42)\nx = rng.randint(1, 6)\n",
+        )
+        assert violations == []
+
+    def test_clock_module_is_exempt(self, tmp_path):
+        source = "import time\nx = time.time()\n"
+        flagged = lint_source(tmp_path, source, name="other.py")
+        exempt = lint_source(tmp_path, source, name="repro/clock.py")
+        assert flagged and not exempt
+
+    def test_line_numbers_reported(self, tmp_path):
+        violations = lint_source(
+            tmp_path, "import time\n\n\nx = time.monotonic()\n"
+        )
+        assert ":4:" in violations[0]
+
+
+class TestRepro002MetricNames:
+    def test_bad_name_flagged(self, tmp_path):
+        violations = lint_source(
+            tmp_path, "c = registry.counter('too_short')\n"
+        )
+        assert len(violations) == 1
+        assert "REPRO002" in violations[0]
+
+    def test_two_segments_flagged(self, tmp_path):
+        violations = lint_source(tmp_path, "g = registry.gauge('a.b')\n")
+        assert any("REPRO002" in v for v in violations)
+
+    def test_three_segments_allowed(self, tmp_path):
+        assert lint_source(tmp_path, "c = registry.counter('a.b.c')\n") == []
+        assert (
+            lint_source(
+                tmp_path, "h = m.histogram('engine.page.read_latency')\n"
+            )
+            == []
+        )
+
+    def test_uppercase_flagged(self, tmp_path):
+        violations = lint_source(
+            tmp_path, "c = registry.counter('Engine.Page.Read')\n"
+        )
+        assert any("REPRO002" in v for v in violations)
+
+    def test_bare_function_named_counter_ignored(self, tmp_path):
+        # A local helper called counter() is not a registry method.
+        assert lint_source(tmp_path, "x = counter('whatever')\n") == []
+
+    def test_dynamic_names_not_flagged(self, tmp_path):
+        # Only literal first arguments can be checked statically.
+        assert lint_source(tmp_path, "c = registry.counter(name)\n") == []
+
+    def test_syntax_error_reported_not_crashed(self, tmp_path):
+        violations = lint_source(tmp_path, "def broken(:\n")
+        assert len(violations) == 1
+        assert "REPRO000" in violations[0]
+
+
+class TestCommandLine:
+    def run_cli(self, *args):
+        return subprocess.run(
+            [sys.executable, str(REPO / "tools" / "lint_rules.py"), *args],
+            capture_output=True,
+            text=True,
+            cwd=REPO,
+        )
+
+    def test_clean_tree_exits_zero(self, tmp_path):
+        (tmp_path / "ok.py").write_text("x = 1\n", encoding="utf-8")
+        proc = self.run_cli(str(tmp_path))
+        assert proc.returncode == 0
+        assert "0 violations" in proc.stderr
+
+    def test_violations_exit_one(self, tmp_path):
+        (tmp_path / "bad.py").write_text(
+            "import time\nx = time.time()\n", encoding="utf-8"
+        )
+        proc = self.run_cli(str(tmp_path))
+        assert proc.returncode == 1
+        assert "REPRO001" in proc.stdout
+
+    def test_missing_path_exits_two(self):
+        proc = self.run_cli("no/such/path")
+        assert proc.returncode == 2
+
+    def test_repo_source_tree_is_clean(self):
+        proc = self.run_cli("src/repro")
+        assert proc.returncode == 0, proc.stdout + proc.stderr

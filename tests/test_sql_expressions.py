@@ -135,3 +135,120 @@ class TestAnalysisHelpers:
 
     def test_split_none(self):
         assert split_conjuncts(None) == []
+
+
+class TestNullEdgeCases:
+    """NULL propagation corners the three-valued logic must get right."""
+
+    def test_null_on_either_comparison_side(self):
+        assert ev("1 = a", a=None) is None
+        assert ev("a <> a", a=None) is None
+        assert ev("a >= b", a=None, b=None) is None
+
+    def test_null_literal_comparison(self):
+        assert ev("x = NULL", x=1) is None
+        assert ev("NULL = NULL") is None
+
+    def test_null_arithmetic_propagates(self):
+        assert ev("a + 1", a=None) is None
+        assert ev("1 - a", a=None) is None
+        assert ev("-a", a=None) is None
+
+    def test_null_between_bounds(self):
+        assert ev("x BETWEEN a AND 5", x=3, a=None) is None
+        assert ev("x BETWEEN 1 AND b", x=3, b=None) is None
+        assert ev("x NOT BETWEEN a AND 5", x=3, a=None) is None
+
+    def test_null_in_not_in(self):
+        # x NOT IN (..., NULL) can never be True: the NULL member might
+        # equal x.
+        assert ev("x NOT IN (1, NULL)", x=9) is None
+        assert ev("x NOT IN (1, NULL)", x=1) is False
+        assert ev("x IN (1, 2)", x=None) is None
+
+    def test_null_like(self):
+        assert ev("s LIKE 'a%'", s=None) is None
+        assert ev("s NOT LIKE 'a%'", s=None) is None
+
+    def test_not_null_is_unknown(self):
+        assert ev("NOT a = 1", a=None) is None
+        assert is_true(ev("NOT a = 1", a=None)) is False
+
+
+class TestNestedBooleans:
+    """Deep AND/OR/NOT nesting with parenthesised grouping."""
+
+    def test_parenthesised_precedence(self):
+        assert ev("(1 = 1 OR 1 = 2) AND 2 = 2") is True
+        assert ev("1 = 1 OR (1 = 2 AND 2 = 3)") is True
+        assert ev("(1 = 2 OR 1 = 3) AND 2 = 2") is False
+
+    def test_and_binds_tighter_than_or(self):
+        # a OR b AND c parses as a OR (b AND c).
+        assert ev("1 = 1 OR 1 = 2 AND 2 = 3") is True
+        assert ev("1 = 2 OR 1 = 1 AND 2 = 2") is True
+        assert ev("1 = 2 OR 1 = 1 AND 2 = 3") is False
+
+    def test_nested_unknown_propagation(self):
+        # UNKNOWN AND TRUE -> UNKNOWN, then OR FALSE keeps UNKNOWN.
+        assert ev("(a = 1 AND 1 = 1) OR 1 = 2", a=None) is None
+        # UNKNOWN OR TRUE short-circuits to TRUE at any depth.
+        assert ev("((a = 1 OR 1 = 1) AND 2 = 2)", a=None) is True
+        # NOT (UNKNOWN AND FALSE) -> NOT FALSE -> TRUE.
+        assert ev("NOT (a = 1 AND 1 = 2)", a=None) is True
+
+    def test_triple_nesting(self):
+        expr = "NOT ((x > 1 AND x < 5) OR (x = 9 AND NOT x = 8))"
+        assert ev(expr, x=3) is False
+        assert ev(expr, x=9) is False
+        assert ev(expr, x=7) is True
+
+
+class TestScalarFunctions:
+    """Deterministic scalar functions and the volatile-context contract."""
+
+    def test_deterministic_functions(self):
+        assert ev("ABS(0 - 3)") == 3
+        assert ev("UPPER('abc')") == "ABC"
+        assert ev("LOWER('ABC')") == "abc"
+        assert ev("LENGTH('hello')") == 5
+        assert ev("ROUND(x)", x=2.6) == 3
+        assert ev("COALESCE(a, b, 7)", a=None, b=None) == 7
+        assert ev("COALESCE(a, 5)", a=2) == 2
+
+    def test_null_propagation(self):
+        assert ev("ABS(a)", a=None) is None
+        assert ev("UPPER(s)", s=None) is None
+        assert ev("COALESCE(a, b)", a=None, b=None) is None
+
+    def test_type_errors(self):
+        with pytest.raises(SqlAnalysisError):
+            ev("ABS('x')")
+        with pytest.raises(SqlAnalysisError):
+            ev("UPPER(1)")
+
+    def test_volatile_without_context_raises(self):
+        with pytest.raises(SqlAnalysisError, match="volatile"):
+            ev("NOW()")
+        with pytest.raises(SqlAnalysisError, match="volatile"):
+            ev("RANDOM()")
+        with pytest.raises(SqlAnalysisError, match="volatile"):
+            ev("SESSION_USER()")
+
+    def test_volatile_with_session_context(self):
+        from repro.sql.expressions import NOW_KEY, RANDOM_KEY, USER_KEY
+
+        env = {NOW_KEY: 42.5, RANDOM_KEY: lambda: 0.25, USER_KEY: "wh"}
+        assert evaluate(parse_expression("NOW()"), env) == 42.5
+        assert evaluate(parse_expression("CURRENT_TIMESTAMP()"), env) == 42.5
+        assert evaluate(parse_expression("RANDOM()"), env) == 0.25
+        assert evaluate(parse_expression("SESSION_USER()"), env) == "wh"
+
+    def test_referenced_functions_walker(self):
+        from repro.sql.expressions import referenced_functions
+
+        expr = parse_expression("ABS(a) + 1 > 0 AND s LIKE 'x%' OR NOW() > 5")
+        assert referenced_functions(expr) == {"ABS", "NOW"}
+        assert referenced_functions(None) == set()
+        nested = parse_expression("COALESCE(ROUND(RANDOM()), 0) IN (1, LENGTH('a'))")
+        assert referenced_functions(nested) == {"COALESCE", "ROUND", "RANDOM", "LENGTH"}

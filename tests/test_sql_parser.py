@@ -182,3 +182,56 @@ class TestToSqlRoundTrip:
         first = parse(sql)
         second = parse(first.to_sql())
         assert first.to_sql() == second.to_sql()
+
+
+class TestFunctionCalls:
+    def test_zero_arg_call(self):
+        from repro.sql import ast_nodes as ast
+        from repro.sql.parser import parse_expression
+
+        expr = parse_expression("NOW()")
+        assert isinstance(expr, ast.FuncCall)
+        assert expr.function == "NOW"
+        assert expr.args == ()
+        assert expr.is_volatile
+
+    def test_args_and_nesting(self):
+        from repro.sql import ast_nodes as ast
+        from repro.sql.parser import parse_expression
+
+        expr = parse_expression("COALESCE(ABS(a), b + 1, 0)")
+        assert isinstance(expr, ast.FuncCall)
+        assert expr.function == "COALESCE"
+        assert len(expr.args) == 3
+        assert isinstance(expr.args[0], ast.FuncCall)
+        assert not expr.is_volatile
+
+    def test_case_insensitive_name(self):
+        from repro.sql import ast_nodes as ast
+        from repro.sql.parser import parse_expression
+
+        expr = parse_expression("upper(s)")
+        assert isinstance(expr, ast.FuncCall)
+        assert expr.function == "UPPER"
+
+    def test_unknown_function_rejected(self):
+        import pytest
+
+        from repro.errors import SqlSyntaxError
+        from repro.sql.parser import parse_expression
+
+        with pytest.raises(SqlSyntaxError, match="unknown function"):
+            parse_expression("FROBNICATE(1)")
+
+    def test_round_trip_to_sql(self):
+        from repro.sql.parser import parse_expression
+
+        expr = parse_expression("COALESCE(ABS(a), 0)")
+        assert expr.to_sql() == "COALESCE(ABS(a), 0)"
+
+    def test_bare_identifier_still_a_column(self):
+        from repro.sql import ast_nodes as ast
+        from repro.sql.parser import parse_expression
+
+        expr = parse_expression("now")
+        assert isinstance(expr, ast.ColumnRef)

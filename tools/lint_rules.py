@@ -1,0 +1,172 @@
+#!/usr/bin/env python3
+"""Project-specific AST lint rules for the ``repro`` package.
+
+Two disciplines the standard linters cannot express:
+
+**REPRO001 — virtual-clock discipline.**  All timing inside ``src/repro``
+is deterministic virtual time (:mod:`repro.clock`); wall-clock reads and
+ambient randomness would make runs irreproducible.  Calls to
+``time.time()``-family functions, ``datetime.now()``-family constructors
+and the module-level ``random.*`` convenience functions are banned.
+``repro/clock.py`` itself is exempt (it is the one place allowed to think
+about time), and instantiating a *seeded* ``random.Random(seed)`` stream
+is always fine — only the shared module-level RNG is ambient state.
+
+**REPRO002 — metric naming.**  Metric names registered through
+``.counter(...)`` / ``.gauge(...)`` / ``.histogram(...)`` must follow the
+``<subsystem>.<object>.<event>`` convention: at least three snake_case
+segments joined by dots.  The registry enforces this at runtime; the lint
+catches it before any code runs.
+
+Usage::
+
+    python tools/lint_rules.py            # lint src/repro
+    python tools/lint_rules.py PATH ...   # lint specific files/trees
+
+Exit status is 1 when any violation is found (CI fails).
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import re
+import sys
+from pathlib import Path
+
+#: Dotted call targets that read the wall clock or ambient randomness.
+BANNED_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "date.today",
+    "datetime.date.today",
+    "random.random",
+    "random.randint",
+    "random.randrange",
+    "random.choice",
+    "random.choices",
+    "random.shuffle",
+    "random.sample",
+    "random.uniform",
+    "random.gauss",
+    "random.getrandbits",
+    "random.seed",
+}
+
+#: Files allowed to touch the wall clock (path suffixes, ``/``-separated).
+CLOCK_EXEMPT_SUFFIXES = ("repro/clock.py",)
+
+#: Registry methods whose first argument is a metric name.
+METRIC_METHODS = ("counter", "gauge", "histogram")
+
+#: ``<subsystem>.<object>.<event>``: >= 3 snake_case dot segments.
+METRIC_NAME_PATTERN = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+){2,}$")
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """Flatten ``a.b.c`` attribute chains to a dotted string."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def lint_file(path: Path) -> list[str]:
+    try:
+        tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    except SyntaxError as exc:
+        return [f"{path}:{exc.lineno or 0}: REPRO000 file does not parse: {exc.msg}"]
+
+    violations: list[str] = []
+    clock_exempt = str(path).replace("\\", "/").endswith(CLOCK_EXEMPT_SUFFIXES)
+
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = dotted_name(node.func)
+        if name is None:
+            continue
+        if not clock_exempt and name in BANNED_CALLS:
+            violations.append(
+                f"{path}:{node.lineno}: REPRO001 call to {name}() breaks "
+                "the virtual-clock discipline; use the database clock or a "
+                "seeded random.Random instance"
+            )
+        method = name.rsplit(".", 1)[-1]
+        if (
+            method in METRIC_METHODS
+            and "." in name
+            and node.args
+            and isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, str)
+        ):
+            metric = node.args[0].value
+            if not METRIC_NAME_PATTERN.match(metric):
+                violations.append(
+                    f"{path}:{node.lineno}: REPRO002 metric name {metric!r} "
+                    "does not follow the '<subsystem>.<object>.<event>' "
+                    "snake_case dot-namespace convention"
+                )
+    return violations
+
+
+def python_files(targets: list[Path]) -> list[Path]:
+    files: list[Path] = []
+    for target in targets:
+        if target.is_dir():
+            files.extend(sorted(target.rglob("*.py")))
+        elif target.suffix == ".py":
+            files.append(target)
+    return files
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        default=None,
+        help="files or directories to lint (default: src/repro)",
+    )
+    args = parser.parse_args(argv)
+    targets = args.paths or [Path("src/repro")]
+
+    missing = [t for t in targets if not t.exists()]
+    if missing:
+        for target in missing:
+            print(f"lint_rules: no such path: {target}", file=sys.stderr)
+        return 2
+
+    violations: list[str] = []
+    checked = 0
+    for path in python_files(targets):
+        violations.extend(lint_file(path))
+        checked += 1
+    for line in violations:
+        print(line)
+    print(
+        f"lint_rules: {checked} files checked, {len(violations)} violations",
+        file=sys.stderr,
+    )
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
