@@ -1,0 +1,12 @@
+"""Extension — semantic checking at capture + plan-driven view maintenance."""
+
+from repro.bench.experiments import semantics
+
+
+def test_semantics(run_experiment):
+    result = run_experiment(semantics.run)
+    # Static rules drove the apply, and executing them beat rebuilding the
+    # views from the mirror after every transaction group.
+    assert result.series["plan_rules_applied"][0] > 0
+    plan_driven, recompute = result.series["apply_span_ms"]
+    assert plan_driven < recompute

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import Any, Iterable, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Iterable, Mapping, Sequence
 
 from ..core.opdelta import OpDelta, OpDeltaTransaction
 from ..core.selfmaint import ViewDefinition
@@ -36,6 +36,9 @@ from .safety import (
     pin_time_functions,
     statement_determinism,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..warehouse.aggregates import AggregateViewDefinition
 
 
 @dataclass(frozen=True)
@@ -94,8 +97,10 @@ class OpDeltaAnalyzer:
         key_columns: Mapping[str, str] | None = None,
         table_columns: Mapping[str, Sequence[str]] | None = None,
         metrics: MetricsLike | None = None,
+        aggregate_views: Sequence["AggregateViewDefinition"] = (),
     ) -> None:
         self.views = tuple(views)
+        self.aggregate_views = tuple(aggregate_views)
         self.mirrored_tables = frozenset(mirrored_tables)
         self.key_columns = dict(key_columns) if key_columns else {}
         self.table_columns = (
@@ -117,7 +122,10 @@ class OpDeltaAnalyzer:
         footprint = extract_footprint(statement, self.table_columns or None)
         determinism = statement_determinism(statement)
         relevance = statement_relevance(
-            footprint, self.views, self.mirrored_tables
+            footprint,
+            self.views,
+            self.mirrored_tables,
+            aggregate_views=self.aggregate_views,
         )
         record = AnalysisRecord(
             footprint=footprint,

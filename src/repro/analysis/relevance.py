@@ -14,16 +14,20 @@ mirrored base table).  Anything the extractor cannot bound stays relevant.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 from ..core.opdelta import OpKind
 from ..core.selfmaint import ViewDefinition
 from ..sql import ast_nodes as ast
+from ..sql.expressions import referenced_columns
 from .rwsets import (
     PredicateRange,
     StatementFootprint,
     range_from_predicate,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..warehouse.aggregates import AggregateViewDefinition
 
 
 @dataclass(frozen=True)
@@ -45,10 +49,15 @@ def statement_relevance(
     footprint: StatementFootprint,
     views: Sequence[ViewDefinition],
     mirrored_tables: Iterable[str] = (),
+    aggregate_views: Sequence["AggregateViewDefinition"] = (),
 ) -> RelevanceVerdict:
     """Match a statement's footprint against the warehouse view catalog."""
     relevant = tuple(
         view.name for view in views if _affects_view(view, footprint)
+    ) + tuple(
+        view.name
+        for view in aggregate_views
+        if _affects_aggregate(view, footprint)
     )
     return RelevanceVerdict(
         relevant_views=relevant,
@@ -75,6 +84,51 @@ def _affects_view(view: ViewDefinition, footprint: StatementFootprint) -> bool:
         # conservative.
         return True
     return False
+
+
+def _aggregate_interest_columns(view: "AggregateViewDefinition") -> set[str]:
+    """Base-table columns an aggregate view's group rows depend on."""
+    interest = set(view.group_by)
+    for spec in view.aggregates:
+        if spec.argument is not None:
+            interest.add(spec.argument)
+    predicate = view.predicate_ast()
+    if predicate is not None:
+        interest |= referenced_columns(predicate)
+    return interest
+
+
+def _affects_aggregate(
+    view: "AggregateViewDefinition", footprint: StatementFootprint
+) -> bool:
+    """Same judgement as :func:`_affects_base`, for GROUP BY views.
+
+    An aggregate view observes a statement when the statement can change a
+    grouping value, an aggregated input, or a row's membership under the
+    view's selection predicate.
+    """
+    if footprint.table != view.base_table:
+        return False
+    view_range = range_from_predicate(view.predicate_ast())
+
+    if footprint.kind is OpKind.UPDATE:
+        if not footprint.writes & _aggregate_interest_columns(view):
+            return False
+        if (
+            footprint.row_range is not None
+            and footprint.row_range.disjoint_from(view_range)
+            and _cannot_enter_range(view_range, footprint)
+        ):
+            return False
+        return True
+
+    # INSERT / DELETE: relevant unless the rows provably fail the
+    # selection predicate (every insert/delete changes some group count).
+    if footprint.row_range is not None and footprint.row_range.disjoint_from(
+        view_range
+    ):
+        return False
+    return True
 
 
 def _affects_base(view: ViewDefinition, footprint: StatementFootprint) -> bool:

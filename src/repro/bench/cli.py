@@ -32,10 +32,20 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "experiments",
         nargs="*",
-        help="experiment ids to run (or 'all'); see --list",
+        help="experiment ids to run (or 'all'); see --list.  With --check, "
+        "annotated SQL fixture files instead",
     )
     parser.add_argument(
         "--list", action="store_true", help="list available experiments"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="run the semantic checker instead of experiments: with no "
+        "arguments, validate the seed workload statements against the seed "
+        "catalog and dump the compiled view-maintenance plans; with file "
+        "arguments, check annotated SQL fixtures ('-- expect: CODE' lines) "
+        "for exact diagnostic matches",
     )
     parser.add_argument(
         "--metrics",
@@ -64,6 +74,11 @@ def main(argv: list[str] | None = None) -> int:
         "to the rendered tables",
     )
     args = parser.parse_args(argv)
+
+    if args.check:
+        from .check import run_check
+
+        return run_check(args.experiments)
 
     if args.list or not args.experiments:
         if not args.list:

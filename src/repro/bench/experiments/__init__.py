@@ -20,6 +20,7 @@ from . import (
     maintenance_window,
     online_maintenance,
     remote_trigger,
+    semantics,
     sensitivity,
     snapshot_algorithms,
     table1,
@@ -48,6 +49,7 @@ REGISTRY: dict[str, Callable[[], ExperimentResult]] = {
     "aggregate_views": aggregate_views.run,
     "sensitivity": sensitivity.run,
     "analysis": analysis.run,
+    "semantics": semantics.run,
 }
 
 __all__ = ["REGISTRY"] + list(REGISTRY)

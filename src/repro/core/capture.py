@@ -30,6 +30,7 @@ from .stores import OpDeltaStore
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..analysis.analyzer import AnalysisRecord
+    from ..semantics.checker import CheckResult
 
 
 class StatementAnalyzer(Protocol):
@@ -40,6 +41,16 @@ class StatementAnalyzer(Protocol):
     """
 
     def analyze_statement(self, statement: ast.Statement) -> "AnalysisRecord": ...
+
+
+class StatementChecker(Protocol):
+    """Capture-time semantic validation (see :mod:`repro.semantics`).
+
+    Structural for the same reason as :class:`StatementAnalyzer`: the
+    semantics layer depends on core, never the other way around.
+    """
+
+    def check_statement(self, statement: ast.Statement) -> "CheckResult": ...
 
 
 class HybridPolicy(Protocol):
@@ -65,6 +76,7 @@ class OpDeltaCapture:
         tables: set[str] | None = None,
         hybrid_policy: HybridPolicy | None = None,
         analyzer: StatementAnalyzer | None = None,
+        checker: StatementChecker | None = None,
     ) -> None:
         self.session = session
         self.store = store
@@ -73,10 +85,12 @@ class OpDeltaCapture:
             hybrid_policy if hybrid_policy is not None else CaptureEverythingLean()
         )
         self._analyzer = analyzer
+        self._checker = checker
         self._sequence = 0
         self._attached = False
         self.operations_captured = 0
         self.before_images_captured = 0
+        self.statements_rejected = 0
         # An internal session for before-image reads: same database, no
         # capture hooks (the wrapper's own reads must not be captured).
         self._reader = session.database.internal_session()
@@ -85,6 +99,8 @@ class OpDeltaCapture:
         self._m_before_images = metrics.counter("capture.opdelta.before_images")
         self._m_overhead = metrics.counter("capture.opdelta.overhead_ms")
         self._m_analyzed = metrics.counter("capture.opdelta.analyzed")
+        self._m_checked = metrics.counter("capture.opdelta.checked")
+        self._m_rejected = metrics.counter("capture.opdelta.rejected")
 
     # ------------------------------------------------------------------ wiring
     def attach(self) -> None:
@@ -118,6 +134,17 @@ class OpDeltaCapture:
         kind, table = classify_statement(statement)
         if self._tables is not None and table not in self._tables:
             return
+        if self._checker is not None:
+            # Semantic validation at the wrapper seam: a malformed statement
+            # is rejected here — before execution, before it is recorded —
+            # instead of failing at warehouse apply.  Raising aborts the
+            # user's statement (capture hooks fire pre-execution).
+            result = self._checker.check_statement(statement)
+            self._m_checked.inc()
+            if not result.ok:
+                self.statements_rejected += 1
+                self._m_rejected.inc()
+                result.raise_if_errors(sql_text)
         txn = session.current_transaction
         if txn is None:
             # Autocommit: the session has not begun the wrapping transaction

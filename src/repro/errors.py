@@ -65,6 +65,19 @@ class SqlAnalysisError(SqlError):
     """The statement parsed but refers to unknown objects or mistypes values."""
 
 
+class SemanticError(SqlAnalysisError):
+    """The schema-aware semantic checker rejected a statement.
+
+    Raised at Op-Delta capture time (the wrapper seam) so malformed
+    statements never reach the store or the warehouse apply path.  Carries
+    the individual :class:`repro.semantics.Diagnostic` records.
+    """
+
+    def __init__(self, message: str, diagnostics: tuple = ()) -> None:
+        super().__init__(message)
+        self.diagnostics = tuple(diagnostics)
+
+
 class ExtractionError(ReproError):
     """A delta-extraction method could not produce its deltas."""
 

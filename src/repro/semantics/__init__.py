@@ -1,0 +1,67 @@
+"""Schema-aware semantic analysis and static view-maintenance planning.
+
+The paper's central observation is that Op-Delta capture happens *above*
+the DBMS: the captured artifact is a statement, available for static
+reasoning before it touches the source or the warehouse.  This package
+exploits that twice:
+
+* :mod:`~repro.semantics.checker` — a schema-aware semantic analyzer /
+  type checker for the SQL layer: name resolution against
+  :mod:`repro.engine.schema`, type inference over expressions, constant
+  folding, and positioned diagnostics.  Run at capture time (via
+  ``OpDeltaCapture(checker=...)``) it rejects malformed statements at the
+  wrapper instead of letting them fail at warehouse apply.
+* :mod:`~repro.semantics.planner` — a static view-maintenance planner
+  that compiles each warehouse view definition into per-operation delta
+  rules ahead of time, classifying views as self-maintainable vs
+  source-query-needed (subsuming :mod:`repro.core.selfmaint`) and
+  emitting :class:`MaintenancePlan` objects the integrators execute.
+"""
+
+from .checker import CheckResult, SchemaCatalog, SemanticChecker
+from .diagnostics import (
+    AMBIGUOUS_COLUMN,
+    ARITY_MISMATCH,
+    CONSTANT_FAILURE,
+    IMPLICIT_COERCION,
+    NON_BOOLEAN_PREDICATE,
+    NOT_NULL_VIOLATION,
+    TYPE_MISMATCH,
+    UNKNOWN_COLUMN,
+    UNKNOWN_TABLE,
+    Diagnostic,
+    Severity,
+)
+from .planner import (
+    DeltaRule,
+    MaintenancePlan,
+    PlanDrivenCapturePolicy,
+    RuleAction,
+    ViewClass,
+    ViewMaintenancePlanner,
+)
+from .sqltypes import SqlType
+
+__all__ = [
+    "AMBIGUOUS_COLUMN",
+    "ARITY_MISMATCH",
+    "CONSTANT_FAILURE",
+    "CheckResult",
+    "DeltaRule",
+    "Diagnostic",
+    "IMPLICIT_COERCION",
+    "MaintenancePlan",
+    "NON_BOOLEAN_PREDICATE",
+    "NOT_NULL_VIOLATION",
+    "PlanDrivenCapturePolicy",
+    "RuleAction",
+    "SchemaCatalog",
+    "SemanticChecker",
+    "Severity",
+    "SqlType",
+    "TYPE_MISMATCH",
+    "UNKNOWN_COLUMN",
+    "UNKNOWN_TABLE",
+    "ViewClass",
+    "ViewMaintenancePlanner",
+]

@@ -35,6 +35,10 @@ class Expression:
 @dataclass(frozen=True)
 class Literal(Expression):
     value: Any
+    #: Source position (character offset in the statement text) when the
+    #: node came from the parser; ``None`` for synthesised nodes.  Excluded
+    #: from equality/hashing so rewrites compare structurally.
+    pos: int | None = field(default=None, compare=False, repr=False)
 
     def to_sql(self) -> str:
         return sql_literal(self.value)
@@ -44,6 +48,7 @@ class Literal(Expression):
 class ColumnRef(Expression):
     name: str
     table: str | None = None
+    pos: int | None = field(default=None, compare=False, repr=False)
 
     def to_sql(self) -> str:
         return f"{self.table}.{self.name}" if self.table else self.name
@@ -146,6 +151,7 @@ class FuncCall(Expression):
 
     function: str
     args: tuple[Expression, ...] = ()
+    pos: int | None = field(default=None, compare=False, repr=False)
 
     @property
     def is_volatile(self) -> bool:
@@ -161,6 +167,7 @@ class Aggregate(Expression):
 
     function: str
     argument: ColumnRef | None  # None means COUNT(*)
+    pos: int | None = field(default=None, compare=False, repr=False)
 
     def to_sql(self) -> str:
         arg = "*" if self.argument is None else self.argument.to_sql()
@@ -224,6 +231,7 @@ class SelectStmt(Statement):
     group_by: tuple[ColumnRef, ...] = ()
     order_by: tuple[OrderItem, ...] = ()
     limit: int | None = None
+    table_pos: int | None = field(default=None, compare=False, repr=False)
 
     def to_sql(self) -> str:
         parts = ["SELECT " + ", ".join(item.to_sql() for item in self.items)]
@@ -249,6 +257,7 @@ class InsertStmt(Statement):
     columns: tuple[str, ...] | None
     rows: tuple[tuple[Expression, ...], ...] = ()
     select: SelectStmt | None = None
+    table_pos: int | None = field(default=None, compare=False, repr=False)
 
     def to_sql(self) -> str:
         cols = f" ({', '.join(self.columns)})" if self.columns else ""
@@ -264,6 +273,7 @@ class InsertStmt(Statement):
 class Assignment:
     column: str
     expr: Expression
+    pos: int | None = field(default=None, compare=False, repr=False)
 
     def to_sql(self) -> str:
         return f"{self.column} = {self.expr.to_sql()}"
@@ -274,6 +284,7 @@ class UpdateStmt(Statement):
     table: str
     assignments: tuple[Assignment, ...]
     where: Expression | None = None
+    table_pos: int | None = field(default=None, compare=False, repr=False)
 
     def to_sql(self) -> str:
         sets = ", ".join(a.to_sql() for a in self.assignments)
@@ -285,6 +296,7 @@ class UpdateStmt(Statement):
 class DeleteStmt(Statement):
     table: str
     where: Expression | None = None
+    table_pos: int | None = field(default=None, compare=False, repr=False)
 
     def to_sql(self) -> str:
         where = f" WHERE {self.where.to_sql()}" if self.where is not None else ""
@@ -368,6 +380,39 @@ class CommitStmt(Statement):
 class RollbackStmt(Statement):
     def to_sql(self) -> str:
         return "ROLLBACK"
+
+
+def node_pos(expr: Expression | None) -> int | None:
+    """The first known source position in an expression subtree.
+
+    Rewritten/synthesised nodes have no position; this walks down to the
+    nearest parsed descendant so diagnostics can still point somewhere.
+    """
+    if expr is None:
+        return None
+    direct = getattr(expr, "pos", None)
+    if direct is not None:
+        return direct
+    children: Sequence[Expression] = ()
+    if isinstance(expr, BinaryOp):
+        children = (expr.left, expr.right)
+    elif isinstance(expr, UnaryOp):
+        children = (expr.operand,)
+    elif isinstance(expr, InList):
+        children = (expr.expr, *expr.items)
+    elif isinstance(expr, Between):
+        children = (expr.expr, expr.low, expr.high)
+    elif isinstance(expr, (Like, IsNull)):
+        children = (expr.expr,)
+    elif isinstance(expr, FuncCall):
+        children = expr.args
+    elif isinstance(expr, Aggregate) and expr.argument is not None:
+        children = (expr.argument,)
+    for child in children:
+        pos = node_pos(child)
+        if pos is not None:
+            return pos
+    return None
 
 
 #: Statements that change data (the ones Op-Delta capture cares about).

@@ -122,8 +122,11 @@ class _Parser:
         group_by: list[ast.ColumnRef] = []
         order_by: list[ast.OrderItem] = []
         limit = None
+        table_pos = None
         if self._accept(TokenKind.KEYWORD, "FROM"):
-            table = self._identifier()
+            table_token = self._expect(TokenKind.IDENT)
+            table = table_token.text
+            table_pos = table_token.position
             alias = self._optional_alias()
             while self._check(TokenKind.KEYWORD, "JOIN") or self._check(
                 TokenKind.KEYWORD, "INNER"
@@ -154,7 +157,7 @@ class _Parser:
         return ast.SelectStmt(
             items=tuple(items), table=table, alias=alias, joins=tuple(joins),
             where=where, group_by=tuple(group_by), order_by=tuple(order_by),
-            limit=limit,
+            limit=limit, table_pos=table_pos,
         )
 
     def _select_items(self) -> list[ast.SelectItem]:
@@ -193,7 +196,8 @@ class _Parser:
     def _insert(self) -> ast.InsertStmt:
         self._expect(TokenKind.KEYWORD, "INSERT")
         self._expect(TokenKind.KEYWORD, "INTO")
-        table = self._identifier()
+        table_token = self._expect(TokenKind.IDENT)
+        table = table_token.text
         columns: tuple[str, ...] | None = None
         if self._accept(TokenKind.SYMBOL, "("):
             names = [self._identifier()]
@@ -203,12 +207,16 @@ class _Parser:
             columns = tuple(names)
         if self._check(TokenKind.KEYWORD, "SELECT"):
             select = self._select()
-            return ast.InsertStmt(table, columns, select=select)
+            return ast.InsertStmt(
+                table, columns, select=select, table_pos=table_token.position
+            )
         self._expect(TokenKind.KEYWORD, "VALUES")
         rows = [self._value_row()]
         while self._accept(TokenKind.SYMBOL, ","):
             rows.append(self._value_row())
-        return ast.InsertStmt(table, columns, rows=tuple(rows))
+        return ast.InsertStmt(
+            table, columns, rows=tuple(rows), table_pos=table_token.position
+        )
 
     def _value_row(self) -> tuple[ast.Expression, ...]:
         self._expect(TokenKind.SYMBOL, "(")
@@ -220,7 +228,7 @@ class _Parser:
 
     def _update(self) -> ast.UpdateStmt:
         self._expect(TokenKind.KEYWORD, "UPDATE")
-        table = self._identifier()
+        table_token = self._expect(TokenKind.IDENT)
         self._expect(TokenKind.KEYWORD, "SET")
         assignments = [self._assignment()]
         while self._accept(TokenKind.SYMBOL, ","):
@@ -228,21 +236,28 @@ class _Parser:
         where = None
         if self._accept(TokenKind.KEYWORD, "WHERE"):
             where = self._expression()
-        return ast.UpdateStmt(table, tuple(assignments), where)
+        return ast.UpdateStmt(
+            table_token.text, tuple(assignments), where,
+            table_pos=table_token.position,
+        )
 
     def _assignment(self) -> ast.Assignment:
-        column = self._identifier()
+        column_token = self._expect(TokenKind.IDENT)
         self._expect(TokenKind.SYMBOL, "=")
-        return ast.Assignment(column, self._expression())
+        return ast.Assignment(
+            column_token.text, self._expression(), pos=column_token.position
+        )
 
     def _delete(self) -> ast.DeleteStmt:
         self._expect(TokenKind.KEYWORD, "DELETE")
         self._expect(TokenKind.KEYWORD, "FROM")
-        table = self._identifier()
+        table_token = self._expect(TokenKind.IDENT)
         where = None
         if self._accept(TokenKind.KEYWORD, "WHERE"):
             where = self._expression()
-        return ast.DeleteStmt(table, where)
+        return ast.DeleteStmt(
+            table_token.text, where, table_pos=table_token.position
+        )
 
     def _create(self) -> ast.Statement:
         self._expect(TokenKind.KEYWORD, "CREATE")
@@ -407,16 +422,16 @@ class _Parser:
         token = self._peek()
         if token.kind is TokenKind.INTEGER:
             self._advance()
-            return ast.Literal(int(token.text))
+            return ast.Literal(int(token.text), pos=token.position)
         if token.kind is TokenKind.FLOAT:
             self._advance()
-            return ast.Literal(float(token.text))
+            return ast.Literal(float(token.text), pos=token.position)
         if token.kind is TokenKind.STRING:
             self._advance()
-            return ast.Literal(token.text)
+            return ast.Literal(token.text, pos=token.position)
         if token.kind is TokenKind.KEYWORD and token.text == "NULL":
             self._advance()
-            return ast.Literal(None)
+            return ast.Literal(None, pos=token.position)
         if token.kind is TokenKind.KEYWORD and token.text in _AGGREGATES:
             function = self._advance().text
             self._expect(TokenKind.SYMBOL, "(")
@@ -427,7 +442,7 @@ class _Parser:
             else:
                 argument = self._column_ref()
             self._expect(TokenKind.SYMBOL, ")")
-            return ast.Aggregate(function, argument)
+            return ast.Aggregate(function, argument, pos=token.position)
         if token.kind is TokenKind.SYMBOL and token.text == "(":
             self._advance()
             expr = self._expression()
@@ -444,7 +459,8 @@ class _Parser:
         )
 
     def _func_call(self) -> ast.FuncCall:
-        name = self._expect(TokenKind.IDENT).text.upper()
+        name_token = self._expect(TokenKind.IDENT)
+        name = name_token.text.upper()
         if name not in ast.SCALAR_FUNCTIONS:
             raise SqlSyntaxError(
                 f"unknown function {name!r}; supported scalar functions: "
@@ -457,11 +473,11 @@ class _Parser:
             while self._accept(TokenKind.SYMBOL, ","):
                 args.append(self._expression())
         self._expect(TokenKind.SYMBOL, ")")
-        return ast.FuncCall(name, tuple(args))
+        return ast.FuncCall(name, tuple(args), pos=name_token.position)
 
     def _column_ref(self) -> ast.ColumnRef:
-        first = self._expect(TokenKind.IDENT).text
+        first = self._expect(TokenKind.IDENT)
         if self._accept(TokenKind.SYMBOL, "."):
             second = self._expect(TokenKind.IDENT).text
-            return ast.ColumnRef(second, table=first)
-        return ast.ColumnRef(first)
+            return ast.ColumnRef(second, table=first.text, pos=first.position)
+        return ast.ColumnRef(first.text, pos=first.position)

@@ -30,7 +30,7 @@ from ..engine.schema import Column, TableSchema
 from ..engine.table import InsertMode, Table
 from ..engine.transactions import Transaction
 from ..engine.types import FLOAT, INTEGER
-from ..errors import SelfMaintenanceError, WarehouseError
+from ..errors import EngineError, SelfMaintenanceError, WarehouseError
 from ..extraction.deltas import ChangeKind, DeltaRecord
 from ..sql import ast_nodes as ast
 from ..sql.expressions import evaluate, is_true
@@ -306,7 +306,7 @@ class MaterializedAggregateView:
                 width = len(self.definition.group_by)
                 if tuple(self.table.read(row_id)[:width]) == key:
                     return row_id
-            except Exception:
+            except EngineError:
                 pass  # stale entry (post-abort); fall through to rebuild
         self._rebuild_directory()
         return self._directory.get(key)

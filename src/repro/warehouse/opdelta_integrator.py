@@ -24,7 +24,7 @@ integrator additionally:
 from __future__ import annotations
 
 import dataclasses
-from typing import Iterable, Sequence
+from typing import Iterable, Mapping, Sequence
 
 from ..analysis.analyzer import AnalysisRecord, OpDeltaAnalyzer, pin_time_functions
 from ..analysis.safety import Determinism
@@ -33,13 +33,23 @@ from ..core.opdelta import OpDelta, OpDeltaTransaction, OpKind
 from ..core.transform import StatementTransformer
 from ..engine.session import Session
 from ..errors import WarehouseError
+from ..semantics.planner import DeltaRule, MaintenancePlan, RuleAction
 from ..sql import ast_nodes as ast
+from .aggregates import MaterializedAggregateView
 from .value_integrator import IntegrationReport
 from .views import MaterializedView
 
 
 class OpDeltaIntegrator:
-    """Replays Op-Delta transaction groups onto mirrors and views."""
+    """Replays Op-Delta transaction groups onto mirrors and views.
+
+    With ``plans`` (a :class:`~repro.semantics.planner.MaintenancePlan`
+    catalog, keyed by view name) the integrator executes the statically
+    compiled delta rule for each operation instead of re-classifying every
+    statement; plans that declare a view not self-maintainable are rejected
+    at construction — attach such views to a source-query refresh path
+    instead of this integrator.
+    """
 
     def __init__(
         self,
@@ -48,15 +58,35 @@ class OpDeltaIntegrator:
         views: Sequence[MaterializedView] = (),
         maintain_mirrors: bool = True,
         analyzer: OpDeltaAnalyzer | None = None,
+        aggregate_views: Sequence[MaterializedAggregateView] = (),
+        plans: Mapping[str, MaintenancePlan] | None = None,
     ) -> None:
         self._session = session
         self._applier = OpDeltaApplier(session, transformer)
         self._views = list(views)
+        self._aggregate_views = list(aggregate_views)
         self._maintain_mirrors = maintain_mirrors
         self._transformer = (
             transformer if transformer is not None else StatementTransformer()
         )
         self._analyzer = analyzer
+        self._plans = dict(plans) if plans is not None else {}
+        for view in [*self._views, *self._aggregate_views]:
+            plan = self._plans.get(view.definition.name)
+            if plan is None:
+                continue
+            if not plan.valid:
+                raise WarehouseError(
+                    f"view {view.definition.name!r} has an invalid maintenance "
+                    "plan: "
+                    + "; ".join(d.render() for d in plan.diagnostics)
+                )
+            if not plan.self_maintainable:
+                raise WarehouseError(
+                    f"view {view.definition.name!r} is planned "
+                    f"{plan.classification.value}; it cannot be maintained by "
+                    "the op-delta integrator"
+                )
 
     def integrate(self, groups: Iterable[OpDeltaTransaction]) -> IntegrationReport:
         """Apply each source transaction as its own warehouse transaction."""
@@ -86,7 +116,21 @@ class OpDeltaIntegrator:
                     report.statements_issued += 1
                     report.rows_affected += result.rows_affected
                 for view in self._views:
-                    view.apply_operation(prepared, txn)
+                    rule = self._rule_for(view.definition.name, prepared)
+                    view.apply_operation(prepared, txn, rule=rule)
+                    if (
+                        rule is not None
+                        and rule.action is not RuleAction.DYNAMIC
+                        and prepared.table == view.definition.base_table
+                    ):
+                        report.plan_rules_applied += 1
+                for agg in self._aggregate_views:
+                    if prepared.table != agg.definition.base_table:
+                        continue
+                    agg.apply_operation(prepared, txn)
+                    rule = self._rule_for(agg.definition.name, prepared)
+                    if rule is not None and rule.action is not RuleAction.DYNAMIC:
+                        report.plan_rules_applied += 1
         except Exception as exc:
             if self._session.in_transaction:
                 self._session.rollback()
@@ -95,6 +139,16 @@ class OpDeltaIntegrator:
                 f"failed: {exc}"
             ) from exc
         self._session.commit()
+
+    def _rule_for(self, view_name: str, op: OpDelta) -> DeltaRule | None:
+        """The planned delta rule for this view/op, if a plan exists."""
+        plan = self._plans.get(view_name)
+        if plan is None:
+            return None
+        try:
+            return plan.rule_for(op.kind)
+        except KeyError:
+            return None
 
     # ------------------------------------------------------- analyzer-driven
     def _prepare(

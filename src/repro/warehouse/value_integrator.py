@@ -25,6 +25,7 @@ from ..engine.session import Session
 from ..errors import WarehouseError
 from ..extraction.deltas import ChangeKind, DeltaBatch
 from ..sql import ast_nodes as ast
+from .aggregates import MaterializedAggregateView
 from .views import MaterializedView
 
 
@@ -46,6 +47,9 @@ class IntegrationReport:
     #: Volatile statements replayed from their captured before image
     #: instead of by re-execution (op-delta mode only).
     fallback_images_applied: int = 0
+    #: View maintenance steps resolved by a static planner rule instead of
+    #: per-statement classification (op-delta mode with a plan catalog).
+    plan_rules_applied: int = 0
 
     @property
     def mean_transaction_ms(self) -> float:
@@ -62,10 +66,12 @@ class ValueDeltaIntegrator:
         session: Session,
         table_map: dict[str, str] | None = None,
         views: Sequence[MaterializedView] = (),
+        aggregate_views: Sequence[MaterializedAggregateView] = (),
     ) -> None:
         self._session = session
         self._table_map = table_map if table_map is not None else {}
         self._views = list(views)
+        self._aggregate_views = list(aggregate_views)
 
     def target_table(self, source_table: str) -> str:
         return self._table_map.get(source_table, source_table)
@@ -97,6 +103,9 @@ class ValueDeltaIntegrator:
             for view in self._views:
                 if view.definition.base_table == batch.table:
                     view.apply_value_delta(batch.records, txn)
+            for agg in self._aggregate_views:
+                if agg.definition.base_table == batch.table:
+                    agg.apply_value_delta(batch.records, txn)
         except Exception as exc:
             if self._session.in_transaction:
                 self._session.rollback()

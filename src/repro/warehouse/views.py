@@ -16,10 +16,13 @@ base table — the equivalence the property tests check.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Mapping
+from typing import TYPE_CHECKING, Any, Iterable, Mapping
 
 from ..core.opdelta import OpDelta, OpKind
 from ..core.selfmaint import Maintainability, ViewDefinition, classify_operation
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..semantics.planner import DeltaRule
 from ..engine.database import Database
 from ..engine.schema import TableSchema
 from ..engine.table import InsertMode, Table
@@ -107,11 +110,19 @@ class MaterializedView:
         return sorted(result)
 
     # -------------------------------------------------------- op-delta path
-    def apply_operation(self, op: OpDelta, txn: Transaction) -> Maintainability:
-        """Maintain the view from one Op-Delta; returns the path taken."""
+    def apply_operation(
+        self, op: OpDelta, txn: Transaction, rule: "DeltaRule | None" = None
+    ) -> Maintainability:
+        """Maintain the view from one Op-Delta; returns the path taken.
+
+        With a compiled :class:`~repro.semantics.planner.DeltaRule` the
+        per-statement classification is skipped wherever the planner
+        decided the strategy ahead of time; only ``DYNAMIC`` rules fall
+        back to classifying the individual statement.
+        """
         if op.table != self.definition.base_table:
             return Maintainability.OP_ONLY  # not our base table: no-op
-        level = classify_operation(self.definition, op)
+        level = self._resolve_level(op, rule)
         if level is Maintainability.NOT_SELF_MAINTAINABLE:
             raise WarehouseError(
                 f"view {self.definition.name!r} cannot be maintained from "
@@ -128,6 +139,17 @@ class MaterializedView:
                 self._apply_with_before_image(op, txn)
         self._m_refresh.inc()
         return level
+
+    def _resolve_level(
+        self, op: OpDelta, rule: "DeltaRule | None"
+    ) -> Maintainability:
+        if rule is None or rule.action.value == "dynamic":
+            return classify_operation(self.definition, op)
+        if rule.action.value == "source-query":
+            return Maintainability.NOT_SELF_MAINTAINABLE
+        if rule.needs_before_image:
+            return Maintainability.NEEDS_BEFORE_IMAGE
+        return Maintainability.OP_ONLY
 
     def _apply_insert_op(self, op: OpDelta, txn: Transaction) -> None:
         stmt = op.statement

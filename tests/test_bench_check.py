@@ -1,0 +1,70 @@
+"""The ``repro-bench --check`` diagnostic/plan dump (repro.bench.check)."""
+
+import io
+
+import repro.engine  # noqa: F401  (resolves the engine<->sql import cycle)
+from repro.bench.check import parse_fixture, run_check, seed_catalog
+
+FIXTURE = "tests/fixtures/semantic_errors.sql"
+
+
+class TestParseFixture:
+    def test_statements_and_expectations(self):
+        cases = parse_fixture(
+            "-- a header comment; semicolons here are inert\n"
+            "UPDATE parts SET quantity = 1;\n"
+            "-- expect: SEM002\n"
+            "UPDATE parts SET quantty = 1;\n"
+            "-- expect: SEM004, SEM009\n"
+            "UPDATE parts\n  SET quantity = 1 / 0;\n"
+        )
+        assert cases == [
+            ("UPDATE parts SET quantity = 1", ()),
+            ("UPDATE parts SET quantty = 1", ("SEM002",)),
+            ("UPDATE parts SET quantity = 1 / 0", ("SEM004", "SEM009")),
+        ]
+
+    def test_trailing_statement_without_semicolon(self):
+        assert parse_fixture("DELETE FROM parts") == [("DELETE FROM parts", ())]
+
+
+class TestSeedMode:
+    def test_seed_workloads_are_clean(self):
+        out = io.StringIO()
+        assert run_check([], out=out) == 0
+        text = out.getvalue()
+        assert "[ok]" in text and "[FAIL]" not in text
+
+    def test_plans_are_dumped(self):
+        out = io.StringIO()
+        run_check([], out=out)
+        text = out.getvalue()
+        assert "active_parts [spj] -> self-maintainable-hybrid" in text
+        assert "qty_by_supplier [aggregate] -> self-maintainable-hybrid" in text
+
+
+class TestFixtureMode:
+    def test_shipped_fixture_passes(self):
+        out = io.StringIO()
+        assert run_check([FIXTURE], out=out) == 0
+        assert "[FAIL]" not in out.getvalue()
+
+    def test_missing_diagnostic_fails(self, tmp_path):
+        bad = tmp_path / "bad.sql"
+        bad.write_text(
+            "-- expect: SEM001\nUPDATE parts SET quantity = 1;\n"
+        )
+        out = io.StringIO()
+        assert run_check([str(bad)], out=out) != 0
+        assert "[FAIL]" in out.getvalue()
+
+    def test_unexpected_diagnostic_fails(self, tmp_path):
+        bad = tmp_path / "bad.sql"
+        bad.write_text("UPDATE parts SET quantty = 1;\n")
+        out = io.StringIO()
+        assert run_check([str(bad)], out=out) != 0
+
+    def test_seed_catalog_names(self):
+        assert {"parts", "suppliers", "audit_log"} <= set(
+            seed_catalog().table_names
+        )

@@ -143,3 +143,10 @@ def test_aggregate_views_smoke():
 
     result = aggregate_views.run(table_rows=1_000, fractions=(0.05, 1.0))
     structurally_valid(result)
+
+
+def test_semantics_smoke():
+    from repro.bench.experiments import semantics
+
+    result = semantics.run(table_rows=300, transactions=3, txn_rows=10)
+    structurally_valid(result)

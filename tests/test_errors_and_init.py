@@ -50,6 +50,7 @@ class TestPublicSurfaces:
             "repro.sql",
             "repro.extraction",
             "repro.core",
+            "repro.semantics",
             "repro.warehouse",
             "repro.transport",
             "repro.sources",
@@ -76,6 +77,6 @@ class TestPublicSurfaces:
             "maintenance_window", "remote_trigger", "online_maintenance",
             "snapshot_algorithms", "hybrid_capture", "timestamp_index",
             "freshness", "capture_levels", "aggregate_views", "sensitivity",
-            "analysis",
+            "analysis", "semantics",
         }
         assert set(REGISTRY) == expected

@@ -95,6 +95,59 @@ class TestRepro002MetricNames:
         assert "REPRO000" in violations[0]
 
 
+class TestRepro003SwallowedExceptions:
+    def test_bare_except_flagged(self, tmp_path):
+        violations = lint_source(
+            tmp_path, "try:\n    x = 1\nexcept:\n    x = 2\n"
+        )
+        assert len(violations) == 1
+        assert "REPRO003" in violations[0]
+        assert "bare" in violations[0]
+
+    def test_except_exception_pass_flagged(self, tmp_path):
+        violations = lint_source(
+            tmp_path, "try:\n    x = 1\nexcept Exception:\n    pass\n"
+        )
+        assert len(violations) == 1
+        assert "REPRO003" in violations[0]
+
+    def test_except_base_exception_ellipsis_flagged(self, tmp_path):
+        violations = lint_source(
+            tmp_path, "try:\n    x = 1\nexcept BaseException:\n    ...\n"
+        )
+        assert any("REPRO003" in v for v in violations)
+
+    def test_handled_broad_except_allowed(self, tmp_path):
+        # A broad handler that actually does something is acceptable.
+        violations = lint_source(
+            tmp_path,
+            "try:\n    x = 1\nexcept Exception as exc:\n"
+            "    raise RuntimeError('wrapped') from exc\n",
+        )
+        assert violations == []
+
+    def test_narrow_noop_handler_allowed(self, tmp_path):
+        # Deliberately ignoring a narrow, expected error is fine.
+        violations = lint_source(
+            tmp_path, "try:\n    x = 1\nexcept KeyError:\n    pass\n"
+        )
+        assert violations == []
+
+    def test_qualified_exception_name_flagged(self, tmp_path):
+        violations = lint_source(
+            tmp_path,
+            "import builtins\ntry:\n    x = 1\n"
+            "except builtins.Exception:\n    pass\n",
+        )
+        assert any("REPRO003" in v for v in violations)
+
+    def test_line_numbers_reported(self, tmp_path):
+        violations = lint_source(
+            tmp_path, "try:\n    x = 1\nexcept Exception:\n    pass\n"
+        )
+        assert ":3:" in violations[0]
+
+
 class TestCommandLine:
     def run_cli(self, *args):
         return subprocess.run(

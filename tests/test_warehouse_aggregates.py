@@ -48,8 +48,8 @@ def make_pipeline(definition=DEFINITION, rows=300):
     return source, workload, warehouse, view, store, triggers
 
 
-def assert_matches_recompute(source, view):
-    expected = view.recompute([v for _r, v in source.table("parts").scan()])
+def assert_matches_recompute(source, view, table="parts"):
+    expected = view.recompute([v for _r, v in source.table(table).scan()])
     actual = view.groups()
     assert set(actual) == set(expected)
     for key, entry in expected.items():
@@ -208,3 +208,146 @@ class TestAbortResilience:
         view.apply_value_delta(batch.records, txn)
         warehouse.database.commit(txn)
         assert_matches_recompute(source, view)
+
+
+def make_readings_pipeline():
+    """A table with a *nullable* aggregated column (parts.price is NOT NULL)."""
+    from repro.engine.schema import Column, TableSchema
+    from repro.engine.types import FLOAT, INTEGER
+
+    schema = TableSchema(
+        "readings",
+        [
+            Column("reading_id", INTEGER, nullable=False),
+            Column("sensor_id", INTEGER, nullable=False),
+            Column("value", FLOAT),
+        ],
+        primary_key="reading_id",
+    )
+    definition = AggregateViewDefinition(
+        "by_sensor",
+        "readings",
+        group_by=("sensor_id",),
+        aggregates=(
+            AggregateSpec("COUNT"),
+            AggregateSpec("SUM", "value"),
+            AggregateSpec("AVG", "value"),
+        ),
+    )
+    source = Database("readings-src")
+    source.create_table(schema)
+    warehouse = Warehouse(clock=source.clock)
+    view = MaterializedAggregateView(warehouse.database, definition, schema)
+    session = source.connect()
+    store = FileLogStore(source)
+    OpDeltaCapture(
+        session, store, tables={"readings"}, hybrid_policy=AlwaysHybridPolicy()
+    ).attach()
+    return source, session, warehouse, view, store
+
+
+def apply_ops(warehouse, view, store):
+    txn = warehouse.database.begin()
+    for group in store.drain():
+        for op in group.operations:
+            view.apply_operation(op, txn)
+    warehouse.database.commit(txn)
+
+
+class TestNullInputRegressions:
+    """NULL aggregate inputs count toward COUNT(*) but not SUM/AVG."""
+
+    def test_null_values_excluded_from_sum_and_avg(self):
+        source, session, warehouse, view, store = make_readings_pipeline()
+        session.execute(
+            "INSERT INTO readings (reading_id, sensor_id, value) "
+            "VALUES (1, 1, 10.0), (2, 1, NULL), (3, 1, 20.0)"
+        )
+        apply_ops(warehouse, view, store)
+        group = view.groups()[(1,)]
+        assert group["count"] == 3
+        assert group["count_all"] == 3
+        assert group["sum_value"] == pytest.approx(30.0)
+        assert group["avg_value"] == pytest.approx(15.0)  # 2 non-NULL inputs
+        assert_matches_recompute(source, view, table="readings")
+
+    def test_deleting_null_row_leaves_sum_and_avg_alone(self):
+        source, session, warehouse, view, store = make_readings_pipeline()
+        session.execute(
+            "INSERT INTO readings (reading_id, sensor_id, value) "
+            "VALUES (1, 1, 10.0), (2, 1, NULL), (3, 1, 20.0)"
+        )
+        session.execute("DELETE FROM readings WHERE reading_id = 2")
+        apply_ops(warehouse, view, store)
+        group = view.groups()[(1,)]
+        assert group["count"] == 2
+        assert group["sum_value"] == pytest.approx(30.0)
+        assert group["avg_value"] == pytest.approx(15.0)
+        assert_matches_recompute(source, view, table="readings")
+
+    def test_update_moving_value_into_and_out_of_null(self):
+        source, session, warehouse, view, store = make_readings_pipeline()
+        session.execute(
+            "INSERT INTO readings (reading_id, sensor_id, value) "
+            "VALUES (1, 1, 10.0), (2, 1, NULL)"
+        )
+        # NULL -> 30.0: the row starts contributing to SUM/AVG.
+        session.execute("UPDATE readings SET value = 30.0 WHERE reading_id = 2")
+        apply_ops(warehouse, view, store)
+        group = view.groups()[(1,)]
+        assert group["sum_value"] == pytest.approx(40.0)
+        assert group["avg_value"] == pytest.approx(20.0)
+        # 10.0 -> NULL: the row stops contributing but still counts.
+        session.execute("UPDATE readings SET value = NULL WHERE reading_id = 1")
+        apply_ops(warehouse, view, store)
+        group = view.groups()[(1,)]
+        assert group["count"] == 2
+        assert group["sum_value"] == pytest.approx(30.0)
+        assert group["avg_value"] == pytest.approx(30.0)
+        assert_matches_recompute(source, view, table="readings")
+
+    def test_all_null_group_has_null_sum_and_avg(self):
+        source, session, warehouse, view, store = make_readings_pipeline()
+        session.execute(
+            "INSERT INTO readings (reading_id, sensor_id, value) "
+            "VALUES (7, 4, NULL), (8, 4, NULL)"
+        )
+        apply_ops(warehouse, view, store)
+        group = view.groups()[(4,)]
+        assert group["count"] == 2
+        assert group["sum_value"] is None
+        assert group["avg_value"] is None
+        assert_matches_recompute(source, view, table="readings")
+
+
+class TestCountZeroRetraction:
+    """A group whose membership count reaches zero is physically retracted."""
+
+    def test_opdelta_delete_retracts_group_row(self):
+        source, workload, warehouse, view, store, _triggers = make_pipeline()
+        workload.run_update(300, assignment="supplier_id = 7")
+        workload.run_delete(300, top_up=False)
+        txn = warehouse.database.begin()
+        for group in store.drain():
+            for op in group.operations:
+                view.apply_operation(op, txn)
+        warehouse.database.commit(txn)
+        assert view.groups() == {}
+        # The storage row is gone, not just zeroed.
+        assert list(view.table.scan()) == []
+        assert_matches_recompute(source, view)
+
+    def test_retracted_group_can_reappear(self):
+        source, session, warehouse, view, store = make_readings_pipeline()
+        session.execute(
+            "INSERT INTO readings (reading_id, sensor_id, value) VALUES (1, 9, 5.0)"
+        )
+        session.execute("DELETE FROM readings WHERE reading_id = 1")
+        session.execute(
+            "INSERT INTO readings (reading_id, sensor_id, value) VALUES (2, 9, 8.0)"
+        )
+        apply_ops(warehouse, view, store)
+        group = view.groups()[(9,)]
+        assert group["count"] == 1
+        assert group["sum_value"] == pytest.approx(8.0)
+        assert_matches_recompute(source, view, table="readings")

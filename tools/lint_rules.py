@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Project-specific AST lint rules for the ``repro`` package.
 
-Two disciplines the standard linters cannot express:
+Three disciplines the standard linters cannot express:
 
 **REPRO001 — virtual-clock discipline.**  All timing inside ``src/repro``
 is deterministic virtual time (:mod:`repro.clock`); wall-clock reads and
@@ -17,6 +17,13 @@ is always fine — only the shared module-level RNG is ambient state.
 ``<subsystem>.<object>.<event>`` convention: at least three snake_case
 segments joined by dots.  The registry enforces this at runtime; the lint
 catches it before any code runs.
+
+**REPRO003 — no swallowed exceptions.**  A bare ``except:`` is always
+banned, as is an ``except Exception:`` / ``except BaseException:`` handler
+whose body does nothing (``pass`` / ``...`` only): both silently discard
+engine bugs that the typed error hierarchy (:mod:`repro.errors`) exists to
+surface.  Catch the narrowest error type that the handled failure actually
+raises; a broad handler that logs, wraps or re-raises is fine.
 
 Usage::
 
@@ -87,6 +94,43 @@ def dotted_name(node: ast.AST) -> str | None:
     return None
 
 
+#: Exception names whose do-nothing handlers REPRO003 flags.
+BROAD_EXCEPTIONS = ("Exception", "BaseException")
+
+
+def _is_noop_body(body: list[ast.stmt]) -> bool:
+    """Whether a handler body only ``pass``es (or is a lone ``...``)."""
+    for statement in body:
+        if isinstance(statement, ast.Pass):
+            continue
+        if isinstance(statement, ast.Expr) and isinstance(
+            statement.value, ast.Constant
+        ) and statement.value.value is Ellipsis:
+            continue
+        return False
+    return True
+
+
+def _check_handler(path: Path, handler: ast.ExceptHandler) -> str | None:
+    if handler.type is None:
+        return (
+            f"{path}:{handler.lineno}: REPRO003 bare 'except:' swallows "
+            "every error including KeyboardInterrupt; catch a typed error "
+            "from repro.errors instead"
+        )
+    name = dotted_name(handler.type)
+    if name is None:
+        return None
+    # `builtins.Exception` is still Exception: match the last segment.
+    if name.rsplit(".", 1)[-1] in BROAD_EXCEPTIONS and _is_noop_body(handler.body):
+        return (
+            f"{path}:{handler.lineno}: REPRO003 'except {name}: pass' "
+            "silently discards failures; catch the narrowest repro.errors "
+            "type, or handle the exception"
+        )
+    return None
+
+
 def lint_file(path: Path) -> list[str]:
     try:
         tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
@@ -97,6 +141,11 @@ def lint_file(path: Path) -> list[str]:
     clock_exempt = str(path).replace("\\", "/").endswith(CLOCK_EXEMPT_SUFFIXES)
 
     for node in ast.walk(tree):
+        if isinstance(node, ast.ExceptHandler):
+            violation = _check_handler(path, node)
+            if violation is not None:
+                violations.append(violation)
+            continue
         if not isinstance(node, ast.Call):
             continue
         name = dotted_name(node.func)
