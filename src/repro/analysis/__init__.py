@@ -39,9 +39,11 @@ from .rwsets import (
 from .safety import (
     Determinism,
     commutes,
+    conjuncts_imply,
     expression_determinism,
     is_idempotent,
     pin_time_functions,
+    self_accumulation,
     statement_determinism,
 )
 
@@ -64,7 +66,9 @@ __all__ = [
     "range_from_predicate",
     "Determinism",
     "commutes",
+    "conjuncts_imply",
     "expression_determinism",
     "is_idempotent",
+    "self_accumulation",
     "statement_determinism",
 ]

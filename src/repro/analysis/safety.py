@@ -28,10 +28,14 @@ from __future__ import annotations
 
 import dataclasses
 import enum
-from typing import Mapping
+from typing import Any, Mapping
 
 from ..sql import ast_nodes as ast
-from ..sql.expressions import referenced_columns, referenced_functions
+from ..sql.expressions import (
+    referenced_columns,
+    referenced_functions,
+    split_conjuncts,
+)
 from .rwsets import StatementFootprint
 
 
@@ -327,12 +331,22 @@ def _additive_pair(
     column: str, expr_a: ast.Expression, expr_b: ast.Expression
 ) -> bool:
     """Both exprs are ``column OP literal`` with the same OP in {+, *}."""
-    op_a = _self_op(column, expr_a)
-    op_b = _self_op(column, expr_b)
-    return op_a is not None and op_a == op_b
+    acc_a = self_accumulation(column, expr_a)
+    acc_b = self_accumulation(column, expr_b)
+    return acc_a is not None and acc_b is not None and acc_a[0] == acc_b[0]
 
 
-def _self_op(column: str, expr: ast.Expression) -> str | None:
+def self_accumulation(
+    column: str, expr: ast.Expression
+) -> tuple[str, Any] | None:
+    """``(op, literal)`` when ``expr`` is ``column OP literal`` (OP in +, *).
+
+    The accumulating-assignment shape: ``qty = qty + 3`` reads only the
+    column it writes, through an associative-commutative operator.  Two
+    such assignments commute — and the log compactor can *fold* them into
+    one (``qty + 1`` then ``qty + 2`` becomes ``qty + 3``), which is why
+    the literal comes back along with the operator.
+    """
     if not isinstance(expr, ast.BinaryOp) or expr.op not in ("+", "*"):
         return None
     left, right = expr.left, expr.right
@@ -342,7 +356,33 @@ def _self_op(column: str, expr: ast.Expression) -> str | None:
         other = left
     else:
         return None
-    return expr.op if isinstance(other, ast.Literal) else None
+    if isinstance(other, ast.Literal) and isinstance(other.value, (int, float)):
+        return expr.op, other.value
+    return None
+
+
+def _self_op(column: str, expr: ast.Expression) -> str | None:
+    accumulation = self_accumulation(column, expr)
+    return None if accumulation is None else accumulation[0]
+
+
+def conjuncts_imply(
+    stronger: ast.Expression | None, weaker: ast.Expression | None
+) -> bool:
+    """Whether every row matching ``stronger`` provably matches ``weaker``.
+
+    Purely structural: ``weaker``'s top-level AND conjuncts must each
+    appear (dataclass-equal) among ``stronger``'s.  A ``None`` (absent)
+    WHERE clause matches every row, so it is implied by anything.  This is
+    *exact*, not range-based — no superset approximation is involved — and
+    it is what lets the compactor prove "every row this UPDATE touches is
+    deleted right after" before dropping the UPDATE.
+    """
+    if weaker is None:
+        return True
+    needed = split_conjuncts(weaker)
+    have = split_conjuncts(stronger)
+    return all(any(conjunct == h for h in have) for conjunct in needed)
 
 
 def _delete_update_commute(

@@ -18,7 +18,7 @@ from ..obs.context import observe
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracing import Tracer
 from .experiments import REGISTRY
-from .report import render, render_analysis
+from .report import render, render_analysis, render_compaction
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -60,6 +60,14 @@ def main(argv: list[str] | None = None) -> int:
         "experiment and print it after its table: statement safety classes "
         "(deterministic / pinnable / volatile), view-relevance pruning, and "
         "conflict-graph structure",
+    )
+    parser.add_argument(
+        "--compact",
+        action="store_true",
+        help="collect the Op-Delta compaction accounting during each "
+        "experiment and print it after its table: per-rule rewrite counts, "
+        "bytes saved before shipping, batched group-apply and cache "
+        "amortisation",
     )
     parser.add_argument(
         "--trace",
@@ -107,12 +115,15 @@ def main(argv: list[str] | None = None) -> int:
     # can be piped into jq etc.) and the rendered tables move to stderr.
     report = sys.stderr if "-" in (args.trace, args.json) else sys.stdout
 
-    observing = args.metrics or args.analyze or args.trace is not None
+    observing = (
+        args.metrics or args.analyze or args.compact or args.trace is not None
+    )
     trace_events: list[dict] = []
     results = []
     failed = []
     for position, name in enumerate(wanted, start=1):
         analysis_text: str | None = None
+        compaction_text: str | None = None
         if observing:
             registry = MetricsRegistry()
             tracer = Tracer()
@@ -122,6 +133,8 @@ def main(argv: list[str] | None = None) -> int:
                 result.metrics = registry.snapshot()
             if args.analyze:
                 analysis_text = render_analysis(registry.snapshot())
+            if args.compact:
+                compaction_text = render_compaction(registry.snapshot())
             if args.trace is not None:
                 trace_events.extend(
                     tracer.chrome_trace_events(pid=position, process_name=name)
@@ -132,6 +145,8 @@ def main(argv: list[str] | None = None) -> int:
         print(render(result), file=report)
         if analysis_text is not None:
             print(analysis_text, file=report)
+        if compaction_text is not None:
+            print(compaction_text, file=report)
         print(file=report)
         if not result.all_checks_pass:
             failed.append(name)

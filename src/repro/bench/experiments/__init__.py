@@ -13,6 +13,7 @@ from . import (
     aggregate_views,
     analysis,
     capture_levels,
+    compaction,
     fig2,
     fig3,
     freshness,
@@ -50,6 +51,7 @@ REGISTRY: dict[str, Callable[[], ExperimentResult]] = {
     "sensitivity": sensitivity.run,
     "analysis": analysis.run,
     "semantics": semantics.run,
+    "compaction": compaction.run,
 }
 
 __all__ = ["REGISTRY"] + list(REGISTRY)

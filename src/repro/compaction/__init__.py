@@ -1,0 +1,20 @@
+"""Op-Delta log compaction and batching (between capture and integration).
+
+The stage the paper's §4 compactness argument earns but never builds: a
+captured Op-Delta window is *rewritten* before it is shipped — redundant
+statements coalesce, annihilate or fuse under proofs from
+:mod:`repro.analysis` — and the warehouse applies the compacted window in
+group-commit batches (one transaction per conflict component) instead of
+one transaction per source commit.
+
+* :class:`Coalescer` — the window rewriter (see
+  :mod:`repro.compaction.coalescer` for the rule set and safety argument);
+* :class:`CompactionReport` — ops/bytes in/out and per-rule accounting;
+* the batched apply side lives on
+  :meth:`repro.warehouse.OpDeltaIntegrator.integrate_batched`.
+"""
+
+from .coalescer import Coalescer
+from .report import CompactionReport
+
+__all__ = ["Coalescer", "CompactionReport"]

@@ -1,0 +1,78 @@
+"""Accounting for one compaction pass over a shippable window."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass
+class CompactionReport:
+    """What one :meth:`~repro.compaction.Coalescer.compact_window` did.
+
+    ``ops_in``/``ops_out`` and ``bytes_in``/``bytes_out`` measure the
+    window before and after rewriting (bytes via
+    :attr:`~repro.core.opdelta.OpDelta.size_bytes`, i.e. the wire
+    encoding).  The per-rule counters attribute every removed statement to
+    the rewrite that claimed it.
+    """
+
+    ops_in: int = 0
+    ops_out: int = 0
+    bytes_in: int = 0
+    bytes_out: int = 0
+    transactions_in: int = 0
+    transactions_out: int = 0
+    #: UPDATE∘UPDATE pairs folded into one statement.
+    updates_folded: int = 0
+    #: INSERT statements fused into a preceding multi-row INSERT.
+    inserts_fused: int = 0
+    #: INSERT/DELETE pairs that annihilated (both statements dropped).
+    pairs_annihilated: int = 0
+    #: UPDATEs dropped because a later DELETE provably removes every row
+    #: they touch.
+    updates_superseded: int = 0
+
+    @property
+    def ops_removed(self) -> int:
+        return self.ops_in - self.ops_out
+
+    @property
+    def bytes_saved(self) -> int:
+        return self.bytes_in - self.bytes_out
+
+    @property
+    def bytes_ratio(self) -> float:
+        """Shipped fraction: ``bytes_out / bytes_in`` (1.0 for an empty window)."""
+        if self.bytes_in == 0:
+            return 1.0
+        return self.bytes_out / self.bytes_in
+
+    def merge(self, other: "CompactionReport") -> None:
+        """Fold another pass's accounting into this one (multi-window runs)."""
+        self.ops_in += other.ops_in
+        self.ops_out += other.ops_out
+        self.bytes_in += other.bytes_in
+        self.bytes_out += other.bytes_out
+        self.transactions_in += other.transactions_in
+        self.transactions_out += other.transactions_out
+        self.updates_folded += other.updates_folded
+        self.inserts_fused += other.inserts_fused
+        self.pairs_annihilated += other.pairs_annihilated
+        self.updates_superseded += other.updates_superseded
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "ops_in": self.ops_in,
+            "ops_out": self.ops_out,
+            "bytes_in": self.bytes_in,
+            "bytes_out": self.bytes_out,
+            "bytes_saved": self.bytes_saved,
+            "bytes_ratio": self.bytes_ratio,
+            "transactions_in": self.transactions_in,
+            "transactions_out": self.transactions_out,
+            "updates_folded": self.updates_folded,
+            "inserts_fused": self.inserts_fused,
+            "pairs_annihilated": self.pairs_annihilated,
+            "updates_superseded": self.updates_superseded,
+        }

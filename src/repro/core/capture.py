@@ -25,7 +25,7 @@ from ..engine.session import Session
 from ..engine.transactions import Transaction
 from ..errors import OpDeltaError
 from ..sql import ast_nodes as ast
-from .opdelta import OpDelta, OpKind, classify_statement
+from .opdelta import OpDelta, OpKind, classify_statement, seed_parse_cache
 from .stores import OpDeltaStore
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -155,6 +155,9 @@ class OpDeltaCapture:
         if self._policy.requires_before_image(table, kind):
             before_image = self._fetch_before_image(statement, table, kind)
         self._sequence += 1
+        # The wrapper already holds the parsed statement; seeding the shared
+        # cache means no later consumer of this text ever re-parses it.
+        seed_parse_cache(sql_text, statement)
         op = OpDelta(
             statement_text=sql_text,
             table=table,

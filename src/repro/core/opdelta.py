@@ -20,10 +20,12 @@ objects:
 from __future__ import annotations
 
 import enum
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
 from ..errors import OpDeltaError
+from ..obs.context import ambient_metrics
 from ..sql import ast_nodes as ast
 from ..sql.parser import parse
 
@@ -35,6 +37,85 @@ class OpKind(enum.Enum):
     INSERT = "INSERT"
     UPDATE = "UPDATE"
     DELETE = "DELETE"
+
+
+#: Serialized size of an Op-Delta's fixed header (see
+#: :attr:`OpDelta.size_bytes` for the full wire-format accounting):
+#: ``txn_id`` (8) + ``sequence`` (8) + ``captured_at`` (4, ms relative to
+#: the shipment epoch) + table reference (2, an id into the shipped table
+#: catalog) + kind/flags (2) = 24 bytes.
+OPDELTA_HEADER_BYTES = 24
+
+
+class ParseCache:
+    """Process-wide bounded LRU of parsed statements, keyed by text.
+
+    OLTP workloads repeat a small set of statement templates; without a
+    shared cache every :class:`OpDelta` instance re-parses its text the
+    first time ``.statement`` is read — once at capture, once again after
+    the record crosses the wire, once more in any analysis pass that only
+    has the text.  Parsed statements are frozen dataclasses, so sharing
+    one AST between records is safe.
+
+    Hit/miss totals are kept on the cache itself and mirrored into the
+    ambient metrics registry (``core.opdelta.parse_cache_hits`` /
+    ``..._misses``) when one is active.
+    """
+
+    def __init__(self, capacity: int = 512) -> None:
+        if capacity < 1:
+            raise OpDeltaError(f"parse cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: OrderedDict[str, ast.Statement] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, statement_text: str) -> ast.Statement | None:
+        """The cached parse of ``statement_text``, or ``None`` (counted)."""
+        statement = self._entries.get(statement_text)
+        registry = ambient_metrics()
+        if statement is not None:
+            self._entries.move_to_end(statement_text)
+            self.hits += 1
+            if registry is not None:
+                registry.counter("core.opdelta.parse_cache_hits").inc()
+            return statement
+        self.misses += 1
+        if registry is not None:
+            registry.counter("core.opdelta.parse_cache_misses").inc()
+        return None
+
+    def seed(self, statement_text: str, statement: ast.Statement) -> None:
+        """Install an already-parsed statement (capture-time warm-up)."""
+        self._entries[statement_text] = statement
+        self._entries.move_to_end(statement_text)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def parse(self, statement_text: str) -> ast.Statement:
+        """The parsed statement, from cache when possible."""
+        statement = self.lookup(statement_text)
+        if statement is None:
+            statement = parse(statement_text)
+            self.seed(statement_text, statement)
+        return statement
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+#: The shared process-wide cache :attr:`OpDelta.statement` reads through.
+PARSE_CACHE = ParseCache()
+
+
+def seed_parse_cache(statement_text: str, statement: ast.Statement) -> None:
+    """Warm the shared cache with a statement parsed elsewhere (capture)."""
+    PARSE_CACHE.seed(statement_text, statement)
 
 
 @dataclass
@@ -58,15 +139,37 @@ class OpDelta:
 
     @property
     def statement(self) -> ast.Statement:
-        """The parsed statement (lazily re-parsed from the captured text)."""
+        """The parsed statement (lazily parsed via the shared cache).
+
+        Workload statements repeat a small set of templates, so the parse
+        goes through the process-wide :data:`PARSE_CACHE` — each distinct
+        text is parsed once no matter how many :class:`OpDelta` instances
+        carry it.
+        """
         if self._parsed is None:
-            self._parsed = parse(self.statement_text)
+            self._parsed = PARSE_CACHE.parse(self.statement_text)
         return self._parsed
 
     @property
     def size_bytes(self) -> int:
-        """Transport volume: statement text + header + optional before image."""
-        size = len(self.statement_text) + 24  # header: txn, seq, table ref
+        """Transport volume of this record's wire encoding.
+
+        The wire format is ``header + statement text + optional before
+        image``:
+
+        * a fixed :data:`OPDELTA_HEADER_BYTES`-byte header (txn id,
+          sequence, capture timestamp, table reference, kind/flags);
+        * the statement text, verbatim;
+        * for hybrid captures, each before-image row's values rendered
+          with a one-byte separator.
+
+        The ``analysis`` record and the ``_parsed`` AST are process-local
+        annotations — they are recomputed (or cache-shared) on the
+        consuming side and **never serialized**, so neither contributes
+        here.  Compaction savings are therefore measured against a stable
+        per-op baseline of ``len(statement_text) + OPDELTA_HEADER_BYTES``.
+        """
+        size = len(self.statement_text) + OPDELTA_HEADER_BYTES
         if self.before_image is not None:
             size += sum(
                 sum(len(str(v)) + 1 for v in row) for row in self.before_image

@@ -2,7 +2,7 @@
 
 from .network import NetworkModel, TransferRecord
 from .queue import PersistentQueue
-from .shipper import FileShipper, TransactionPruner, enqueue_op_deltas
+from .shipper import Compactor, FileShipper, TransactionPruner, enqueue_op_deltas
 
 __all__ = [
     "NetworkModel",
@@ -10,5 +10,6 @@ __all__ = [
     "PersistentQueue",
     "FileShipper",
     "TransactionPruner",
+    "Compactor",
     "enqueue_op_deltas",
 ]

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Generic, TypeVar
+from typing import Generic, Iterable, TypeVar
 
 from ..clock import VirtualClock
 from ..engine.costs import DEFAULT_COST_MODEL, CostModel
@@ -97,6 +97,38 @@ class PersistentQueue(Generic[T]):
         self._clock.advance(self._costs.file_read(envelope.size_bytes))
         self._in_flight[envelope.delivery_id] = envelope
         return envelope.delivery_id, envelope.payload
+
+    def receive_window(self, limit: int) -> list[tuple[int, T]]:
+        """Take up to ``limit`` messages as one shippable window.
+
+        The batched-apply seam: a consumer drains a window, applies it as
+        group-commit batches, then settles the whole window with
+        :meth:`ack_window` — the at-least-once guarantee now covers the
+        window, not each message.  Every received message stays in flight
+        until individually (or collectively) settled.
+        """
+        if limit < 1:
+            raise TransportError(f"window size must be positive: {limit}")
+        window: list[tuple[int, T]] = []
+        while len(window) < limit:
+            received = self.receive()
+            if received is None:
+                break
+            window.append(received)
+        return window
+
+    def ack_window(self, delivery_ids: Iterable[int]) -> int:
+        """Acknowledge a whole received window; returns messages settled.
+
+        Fails on the first unknown delivery id — earlier ids in the window
+        are already settled at that point, exactly the partial-failure
+        surface :meth:`recover` redelivers after.
+        """
+        settled = 0
+        for delivery_id in delivery_ids:
+            self.ack(delivery_id)
+            settled += 1
+        return settled
 
     def ack(self, delivery_id: int) -> None:
         """Acknowledge successful processing; the message is gone for good."""

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Iterable, Protocol
 
+from ..compaction.report import CompactionReport
 from ..core.opdelta import OpDeltaTransaction
 from ..engine.snapshots import Snapshot
 from ..engine.utilities import AsciiFile, ExportDump
@@ -31,6 +32,33 @@ class TransactionPruner(Protocol):
     def prune_transaction(
         self, group: OpDeltaTransaction
     ) -> OpDeltaTransaction | None: ...
+
+
+class Compactor(Protocol):
+    """Window rewriting at the transport boundary.
+
+    Structural stand-in for :class:`repro.compaction.Coalescer` (same
+    reasoning as :class:`TransactionPruner`): the shippable window is
+    rewritten — redundant statements folded, annihilated or fused — before
+    it costs network bytes or queue space.
+    """
+
+    def compact_window(
+        self, groups: Iterable[OpDeltaTransaction]
+    ) -> tuple[list[OpDeltaTransaction], CompactionReport]: ...
+
+
+def _shippable_window(
+    groups: Iterable[OpDeltaTransaction],
+    pruner: TransactionPruner | None,
+    compactor: Compactor | None,
+) -> Iterable[OpDeltaTransaction]:
+    """Prune first (cheap, per-statement), then compact what remains."""
+    pruned = _pruned_groups(groups, pruner)
+    if compactor is None:
+        return pruned
+    compacted, _report = compactor.compact_window(pruned)
+    return compacted
 
 
 def _pruned_groups(
@@ -75,9 +103,11 @@ class FileShipper:
         self,
         groups: Iterable[OpDeltaTransaction],
         pruner: TransactionPruner | None = None,
+        compactor: Compactor | None = None,
     ) -> float:
         payload = sum(
-            group.size_bytes for group in _pruned_groups(groups, pruner)
+            group.size_bytes
+            for group in _shippable_window(groups, pruner, compactor)
         )
         return self._network.transfer(payload, "op-deltas")
 
@@ -86,15 +116,18 @@ def enqueue_op_deltas(
     queue: PersistentQueue[OpDeltaTransaction],
     groups: Iterable[OpDeltaTransaction],
     pruner: TransactionPruner | None = None,
+    compactor: Compactor | None = None,
 ) -> int:
     """Feed Op-Delta groups into a persistent queue (one message per txn).
 
     With a ``pruner``, statements irrelevant to every warehouse view are
     dropped first and transactions left empty by pruning are not enqueued
-    at all.
+    at all.  With a ``compactor``, the surviving window is rewritten
+    (:mod:`repro.compaction`) before any message is enqueued, so the queue
+    stores — and later ships — the compacted statements.
     """
     count = 0
-    for group in _pruned_groups(groups, pruner):
+    for group in _shippable_window(groups, pruner, compactor):
         queue.enqueue(group, group.size_bytes)
         count += 1
     return count

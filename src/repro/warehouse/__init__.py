@@ -12,6 +12,7 @@ from .scheduler import (
     QueryRecord,
     ScheduleReport,
     run_availability_experiment,
+    run_batched_schedule,
     run_conflict_schedule,
 )
 from .value_integrator import IntegrationReport, ValueDeltaIntegrator
@@ -35,5 +36,6 @@ __all__ = [
     "QueryRecord",
     "run_availability_experiment",
     "ScheduleReport",
+    "run_batched_schedule",
     "run_conflict_schedule",
 ]

@@ -219,6 +219,24 @@ class ScheduleReport:
         return self.serial_ms / self.parallel_ms
 
 
+def run_batched_schedule(
+    component_apply_ms: Sequence[float],
+    workers: int = 4,
+    metrics: MetricsLike | None = None,
+) -> ScheduleReport:
+    """Replay batched group-commit apply times on parallel worker lanes.
+
+    ``component_apply_ms`` is :attr:`IntegrationReport.per_component_ms`
+    from :meth:`~repro.warehouse.OpDeltaIntegrator.integrate_batched`: the
+    whole conflict component is one warehouse transaction, so each entry is
+    an indivisible unit of lane work (a one-transaction component as far as
+    the schedule is concerned).
+    """
+    return run_conflict_schedule(
+        [[ms] for ms in component_apply_ms], workers=workers, metrics=metrics
+    )
+
+
 def run_conflict_schedule(
     component_durations_ms: Sequence[Sequence[float]],
     workers: int = 4,

@@ -50,6 +50,18 @@ class IntegrationReport:
     #: View maintenance steps resolved by a static planner rule instead of
     #: per-statement classification (op-delta mode with a plan catalog).
     plan_rules_applied: int = 0
+    #: Conflict components applied as single warehouse transactions
+    #: (op-delta batched mode only; 0 for per-transaction application).
+    components: int = 0
+    #: Virtual apply time of each conflict component, in schedule order
+    #: (op-delta batched mode only) — these feed the parallel-lane replay.
+    per_component_ms: list[float] = field(default_factory=list)
+    #: Delta-rule resolutions requested / served from the per-window memo
+    #: (op-delta batched mode only): hits are lookups that skipped the
+    #: plan-catalog walk because the same (table, kind, view) was already
+    #: resolved in this window.
+    rule_lookups: int = 0
+    rule_cache_hits: int = 0
 
     @property
     def mean_transaction_ms(self) -> float:

@@ -9,7 +9,13 @@ from repro.core import (
     OpKind,
     classify_statement,
 )
-from repro.core.opdelta import OpDelta
+from repro.core.opdelta import (
+    OPDELTA_HEADER_BYTES,
+    PARSE_CACHE,
+    OpDelta,
+    ParseCache,
+    seed_parse_cache,
+)
 from repro.engine import Database
 from repro.errors import OpDeltaError
 from repro.sql.parser import parse
@@ -63,6 +69,83 @@ class TestOpDeltaRecord:
     def test_lazy_reparse(self):
         op = OpDelta("DELETE FROM t WHERE a = 1", "t", OpKind.DELETE, 1, 1, 0.0)
         assert op.statement.table == "t"
+
+    def test_wire_header_size_pinned(self):
+        """Regression pin: the documented wire header is 24 bytes.
+
+        txn_id (8) + sequence (8) + captured_at (4) + table ref (2) +
+        kind/flags (2).  Changing the wire format must update both the
+        constant and this test.
+        """
+        assert OPDELTA_HEADER_BYTES == 24
+        text = "DELETE FROM t WHERE a = 1"
+        op = OpDelta(text, "t", OpKind.DELETE, 1, 1, 0.0)
+        assert op.size_bytes == len(text) + OPDELTA_HEADER_BYTES
+
+    def test_local_annotations_never_ship(self):
+        """``analysis`` and ``_parsed`` are process-local: size is stable."""
+        text = "UPDATE t SET a = 1 WHERE b = 2"
+        bare = OpDelta(text, "t", OpKind.UPDATE, 1, 1, 0.0)
+        baseline = bare.size_bytes
+        bare.statement  # materialise _parsed
+        assert bare.size_bytes == baseline
+        annotated = OpDelta(
+            text, "t", OpKind.UPDATE, 1, 1, 0.0,
+            analysis=object(), _parsed=parse(text),
+        )
+        assert annotated.size_bytes == baseline
+
+
+class TestParseCache:
+    def test_hit_and_miss_counted(self):
+        cache = ParseCache(capacity=4)
+        text = "DELETE FROM t WHERE a = 1"
+        first = cache.parse(text)
+        second = cache.parse(text)
+        assert first is second
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_lru_eviction(self):
+        cache = ParseCache(capacity=2)
+        texts = [f"DELETE FROM t WHERE a = {i}" for i in range(3)]
+        cache.parse(texts[0])
+        cache.parse(texts[1])
+        cache.parse(texts[0])  # refresh: texts[1] is now the LRU entry
+        cache.parse(texts[2])  # evicts texts[1]
+        assert len(cache) == 2
+        assert cache.lookup(texts[0]) is not None
+        assert cache.lookup(texts[1]) is None
+
+    def test_seed_avoids_reparse(self):
+        cache = ParseCache(capacity=4)
+        text = "DELETE FROM t WHERE a = 1"
+        statement = parse(text)
+        cache.seed(text, statement)
+        assert cache.parse(text) is statement
+        assert cache.misses == 0
+
+    def test_capacity_validated(self):
+        with pytest.raises(OpDeltaError):
+            ParseCache(capacity=0)
+
+    def test_opdelta_reads_through_shared_cache(self):
+        text = "DELETE FROM t WHERE a = 99887766"
+        seed_parse_cache(text, parse(text))
+        hits = PARSE_CACHE.hits
+        op = OpDelta(text, "t", OpKind.DELETE, 1, 1, 0.0)
+        op.statement
+        assert PARSE_CACHE.hits == hits + 1
+
+    def test_capture_seeds_shared_cache(self, source):
+        database, workload = source
+        store, capture = attach(source, FileLogStore)
+        misses = PARSE_CACHE.misses
+        workload.session.execute("DELETE FROM parts WHERE part_ref = 123454321")
+        capture.detach()
+        (group,) = store.drain()
+        (op,) = group.operations
+        assert op.statement.table == "parts"
+        assert PARSE_CACHE.misses == misses  # capture seeded; no re-parse
 
 
 class TestCaptureLifecycle:

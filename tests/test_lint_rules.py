@@ -148,6 +148,61 @@ class TestRepro003SwallowedExceptions:
         assert ":3:" in violations[0]
 
 
+class TestRepro004ParseCacheBypass:
+    def test_direct_parse_of_statement_text_flagged(self, tmp_path):
+        violations = lint_source(
+            tmp_path,
+            "from repro.sql.parser import parse\n"
+            "def rebuild(op):\n"
+            "    return parse(op.statement_text)\n",
+        )
+        assert len(violations) == 1
+        assert "REPRO004" in violations[0]
+
+    def test_method_style_parse_flagged(self, tmp_path):
+        violations = lint_source(
+            tmp_path,
+            "def rebuild(parser, op):\n"
+            "    return parser.parse(op.statement_text)\n",
+        )
+        assert len(violations) == 1
+        assert "REPRO004" in violations[0]
+
+    def test_keyword_argument_flagged(self, tmp_path):
+        violations = lint_source(
+            tmp_path,
+            "def rebuild(op):\n"
+            "    return parse(sql=op.statement_text)\n",
+        )
+        assert len(violations) == 1
+        assert "REPRO004" in violations[0]
+
+    def test_parse_of_other_values_allowed(self, tmp_path):
+        violations = lint_source(
+            tmp_path,
+            "def rebuild(text):\n"
+            "    return parse(text)\n",
+        )
+        assert violations == []
+
+    def test_statement_text_outside_parse_allowed(self, tmp_path):
+        violations = lint_source(
+            tmp_path,
+            "def size(op):\n"
+            "    return len(op.statement_text)\n",
+        )
+        assert violations == []
+
+    def test_opdelta_module_is_exempt(self, tmp_path):
+        violations = lint_source(
+            tmp_path,
+            "def statement(self):\n"
+            "    return parse(self.statement_text)\n",
+            name="repro/core/opdelta.py",
+        )
+        assert violations == []
+
+
 class TestCommandLine:
     def run_cli(self, *args):
         return subprocess.run(

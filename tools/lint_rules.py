@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Project-specific AST lint rules for the ``repro`` package.
 
-Three disciplines the standard linters cannot express:
+Four disciplines the standard linters cannot express:
 
 **REPRO001 — virtual-clock discipline.**  All timing inside ``src/repro``
 is deterministic virtual time (:mod:`repro.clock`); wall-clock reads and
@@ -24,6 +24,13 @@ whose body does nothing (``pass`` / ``...`` only): both silently discard
 engine bugs that the typed error hierarchy (:mod:`repro.errors`) exists to
 surface.  Catch the narrowest error type that the handled failure actually
 raises; a broad handler that logs, wraps or re-raises is fine.
+
+**REPRO004 — parse through the shared cache.**  Passing
+``<op>.statement_text`` to any ``parse(...)`` call bypasses the
+process-wide bounded LRU parse cache (``repro.core.opdelta.PARSE_CACHE``)
+and re-parses a statement the capture pipeline already parsed once.  Use
+the ``OpDelta.statement`` property (or ``PARSE_CACHE.parse``) instead;
+``core/opdelta.py`` itself is exempt (it implements the cache).
 
 Usage::
 
@@ -74,6 +81,10 @@ BANNED_CALLS = {
 
 #: Files allowed to touch the wall clock (path suffixes, ``/``-separated).
 CLOCK_EXEMPT_SUFFIXES = ("repro/clock.py",)
+
+#: The one module allowed to parse ``statement_text`` directly (path
+#: suffixes, ``/``-separated): it implements the shared parse cache.
+PARSE_EXEMPT_SUFFIXES = ("repro/core/opdelta.py",)
 
 #: Registry methods whose first argument is a metric name.
 METRIC_METHODS = ("counter", "gauge", "histogram")
@@ -138,7 +149,9 @@ def lint_file(path: Path) -> list[str]:
         return [f"{path}:{exc.lineno or 0}: REPRO000 file does not parse: {exc.msg}"]
 
     violations: list[str] = []
-    clock_exempt = str(path).replace("\\", "/").endswith(CLOCK_EXEMPT_SUFFIXES)
+    normalized = str(path).replace("\\", "/")
+    clock_exempt = normalized.endswith(CLOCK_EXEMPT_SUFFIXES)
+    parse_exempt = normalized.endswith(PARSE_EXEMPT_SUFFIXES)
 
     for node in ast.walk(tree):
         if isinstance(node, ast.ExceptHandler):
@@ -158,6 +171,19 @@ def lint_file(path: Path) -> list[str]:
                 "seeded random.Random instance"
             )
         method = name.rsplit(".", 1)[-1]
+        if not parse_exempt and method == "parse":
+            for arg in [*node.args, *(kw.value for kw in node.keywords)]:
+                if (
+                    isinstance(arg, ast.Attribute)
+                    and arg.attr == "statement_text"
+                ):
+                    violations.append(
+                        f"{path}:{node.lineno}: REPRO004 parsing "
+                        "'.statement_text' directly bypasses the shared "
+                        "parse cache; use the OpDelta.statement property "
+                        "(or repro.core.opdelta.PARSE_CACHE.parse)"
+                    )
+                    break
         if (
             method in METRIC_METHODS
             and "." in name
