@@ -48,6 +48,20 @@ def main(argv: list[str] | None = None) -> int:
         "for exact diagnostic matches",
     )
     parser.add_argument(
+        "--health",
+        action="store_true",
+        help="run the audited pipeline-health pass instead of experiments: "
+        "capture the seed workload through the plain, batched and compacted "
+        "pipelines, audit lineage conservation, ordering and state digests, "
+        "and print per-view freshness, per-stage lag and the auditor verdict",
+    )
+    parser.add_argument(
+        "--fault",
+        choices=["drop-queue-message"],
+        help="with --health: seed this fault into the flagship pipeline; "
+        "the exit code then reports whether the auditor detected it",
+    )
+    parser.add_argument(
         "--metrics",
         action="store_true",
         help="collect engine/extraction/transport/warehouse metrics during "
@@ -87,6 +101,27 @@ def main(argv: list[str] | None = None) -> int:
         from .check import run_check
 
         return run_check(args.experiments)
+
+    if args.health:
+        from .health import run_health
+        from .report import render_health
+
+        health = run_health(fault=args.fault)
+        destination = sys.stderr if args.json == "-" else sys.stdout
+        print(render_health(health), file=destination)
+        if args.json is not None:
+            try:
+                _write(args.json, health.to_dict())
+            except OSError as exc:
+                print(
+                    f"repro-bench: cannot write {exc.filename}: {exc.strerror}",
+                    file=sys.stderr,
+                )
+                return 1
+        return health.exit_code
+    if args.fault is not None:
+        print("--fault requires --health", file=sys.stderr)
+        return 2
 
     if args.list or not args.experiments:
         if not args.list:

@@ -10,9 +10,12 @@ shape checks that define "reproduced".
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Sequence
+from typing import TYPE_CHECKING, Any, Sequence
 
 from ..clock import format_duration
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .health import HealthReport
 
 
 @dataclass
@@ -299,6 +302,103 @@ def render_compaction(snapshot: dict[str, Any]) -> str:
             f"{cache_misses:,} misses"
         )
     return "\n".join(out)
+
+
+def render_health(report: "HealthReport") -> str:
+    """Render one audited health pass (``repro-bench --health``).
+
+    Per-pipeline verdict and conservation, then the flagship pipeline in
+    detail: view freshness (staleness against the source high watermark),
+    the per-stage lag decomposition, source watermarks and any positioned
+    audit findings.
+    """
+    out = ["== pipeline health =="]
+    if report.fault is not None:
+        status = "DETECTED" if report.fault_detected else "MISSED"
+        out.append(f"seeded fault: {report.fault} -> {status}")
+    out.append(f"verdict: {report.verdict}")
+    for mode, snap in report.modes.items():
+        c = snap.conservation
+        holds = c.get("captured", 0) == (
+            c.get("applied", 0)
+            + c.get("pruned", 0)
+            + c.get("absorbed", 0)
+            + c.get("rejected", 0)
+        ) and c.get("in_flight", 0) == 0
+        out.append(
+            f"  {mode:<10} {snap.verdict:<9} "
+            f"captured {c.get('captured', 0):>4} = "
+            f"applied {c.get('applied', 0)} + pruned {c.get('pruned', 0)} + "
+            f"absorbed {c.get('absorbed', 0)} + rejected {c.get('rejected', 0)} "
+            f"(in flight {c.get('in_flight', 0)}) "
+            f"[{'conserved' if holds else 'NOT CONSERVED'}]"
+        )
+    flagship = report.snapshot
+    if flagship.views:
+        out.append("")
+        out.append("view freshness (flagship pipeline):")
+        grid = [["view", "ops applied", "applied through", "staleness"]]
+        for view in flagship.views:
+            applied_through = view["applied_through_ms"]
+            grid.append(
+                [
+                    view["view"],
+                    f"{view['ops_applied']:,}",
+                    "never" if applied_through is None
+                    else format_duration(applied_through),
+                    format_duration(view["staleness_ms"]),
+                ]
+            )
+        out.append(_indent(_render_grid(grid)))
+    if flagship.stage_lags:
+        out.append("")
+        out.append("per-stage lag decomposition (virtual ms):")
+        grid = [["stage", "n", "mean", "p50", "p95", "max"]]
+        for stage, summary in flagship.stage_lags.items():
+            grid.append(
+                [
+                    stage,
+                    f"{int(summary['count']):,}",
+                    f"{summary['mean']:.2f}",
+                    f"{summary['p50']:.2f}",
+                    f"{summary['p95']:.2f}",
+                    f"{summary['max']:.2f}",
+                ]
+            )
+        out.append(_indent(_render_grid(grid)))
+    if flagship.sources:
+        out.append("")
+        out.append("source watermarks:")
+        for source in flagship.sources:
+            out.append(
+                f"  {source['source']}: low {source['low_seq']} / "
+                f"high {source['high_seq']} "
+                f"({source['captured']:,} captured, "
+                f"{source['settled']:,} settled)"
+            )
+    if flagship.digest_checks:
+        out.append("")
+        out.append("state digests:")
+        for position, matched in sorted(flagship.digest_checks.items()):
+            out.append(
+                f"  [{'MATCH' if matched else 'DIVERGED'}] {position}"
+            )
+    findings = [f for snap in report.modes.values() for f in snap.findings]
+    if findings:
+        out.append("")
+        out.append("findings:")
+        for finding in findings:
+            position = finding["correlation_id"] or "<pipeline>"
+            stage = f" at stage '{finding['stage']}'" if finding["stage"] else ""
+            out.append(
+                f"  {finding['code']} [{finding['severity']}] "
+                f"{position}{stage}: {finding['message']}"
+            )
+    return "\n".join(out)
+
+
+def _indent(text: str, prefix: str = "  ") -> str:
+    return "\n".join(prefix + line for line in text.splitlines())
 
 
 def series_ratios(numerator: Sequence[float], denominator: Sequence[float]) -> list[float]:

@@ -62,9 +62,11 @@ from ..core.opdelta import OpDelta, OpDeltaTransaction
 from ..errors import SqlAnalysisError
 from ..obs.context import ambient_metrics, ambient_tracer
 from ..obs.metrics import NULL_REGISTRY, MetricsLike
+from ..obs.pipeline.context import ambient_pipeline
+from ..obs.pipeline.events import lineage_key
 from ..sql import ast_nodes as ast
 from ..sql.expressions import evaluate, is_true, referenced_columns
-from .report import CompactionReport
+from .report import AbsorbedEdge, CompactionReport
 
 
 @dataclasses.dataclass(frozen=True)
@@ -241,23 +243,52 @@ class Coalescer:
             merged = self._fold_updates(cand, current)
             if merged is not None:
                 report.updates_folded += 1
+                # The merged statement keeps the candidate's identity, so
+                # the later update is absorbed into the earlier one.
+                self._absorb(report, current.op, cand.op, "fold_updates")
             return merged
         if kind_c == "INSERT" and kind_n == "INSERT":
             merged = self._fuse_inserts(cand, current)
             if merged is not None:
                 report.inserts_fused += 1
+                self._absorb(report, current.op, cand.op, "fuse_inserts")
             return merged
         if kind_c == "INSERT" and kind_n == "DELETE":
             if self._annihilates(cand, current):
                 report.pairs_annihilated += 1
+                # Annihilation: neither statement survives — both effects
+                # vanish, with no absorber to point at.
+                self._absorb(report, cand.op, None, "annihilate_pair")
+                self._absorb(report, current.op, None, "annihilate_pair")
                 return DROP_BOTH
             return None
         if kind_c == "UPDATE" and kind_n == "DELETE":
             if self._superseded(cand, current):
                 report.updates_superseded += 1
+                self._absorb(report, cand.op, current.op, "supersede_update")
                 return DROP_PREV
             return None
         return None
+
+    def _absorb(
+        self,
+        report: CompactionReport,
+        absorbed: OpDelta,
+        absorber: OpDelta | None,
+        rule: str,
+    ) -> None:
+        """Account one removed statement: report edge + lineage event."""
+        report.absorbed.append(
+            AbsorbedEdge(
+                absorbed=lineage_key(absorbed),
+                absorbed_by=None if absorber is None else lineage_key(absorber),
+                rule=rule,
+            )
+        )
+        recorder = ambient_pipeline()
+        if recorder is not None:
+            at_ms = self._clock.now if self._clock is not None else None
+            recorder.record_absorbed(absorbed, absorber, rule, at_ms=at_ms)
 
     def _fold_updates(self, cand: _Entry, current: _Entry) -> _Entry | None:
         c = cand.op.statement

@@ -2,8 +2,31 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any
+
+
+@dataclass(frozen=True)
+class AbsorbedEdge:
+    """One op rewritten away, attributed to its surviving absorber.
+
+    ``absorbed_by`` is the lineage key of the statement that now carries
+    the effect, or ``None`` when the effect vanished entirely (INSERT ∘
+    DELETE annihilation).  These edges feed the pipeline auditor's
+    conservation proof (:mod:`repro.obs.pipeline`): a compacted-away op is
+    *accounted for*, not lost.
+    """
+
+    absorbed: str
+    absorbed_by: str | None
+    rule: str
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "absorbed": self.absorbed,
+            "absorbed_by": self.absorbed_by,
+            "rule": self.rule,
+        }
 
 
 @dataclass
@@ -14,7 +37,8 @@ class CompactionReport:
     window before and after rewriting (bytes via
     :attr:`~repro.core.opdelta.OpDelta.size_bytes`, i.e. the wire
     encoding).  The per-rule counters attribute every removed statement to
-    the rewrite that claimed it.
+    the rewrite that claimed it, and :attr:`absorbed` names each removed
+    statement's surviving absorber (lineage "absorbed-by" edges).
     """
 
     ops_in: int = 0
@@ -32,6 +56,8 @@ class CompactionReport:
     #: UPDATEs dropped because a later DELETE provably removes every row
     #: they touch.
     updates_superseded: int = 0
+    #: Lineage edges: every op a rewrite removed, with its absorber.
+    absorbed: list[AbsorbedEdge] = field(default_factory=list)
 
     @property
     def ops_removed(self) -> int:
@@ -60,6 +86,7 @@ class CompactionReport:
         self.inserts_fused += other.inserts_fused
         self.pairs_annihilated += other.pairs_annihilated
         self.updates_superseded += other.updates_superseded
+        self.absorbed.extend(other.absorbed)
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -75,4 +102,5 @@ class CompactionReport:
             "inserts_fused": self.inserts_fused,
             "pairs_annihilated": self.pairs_annihilated,
             "updates_superseded": self.updates_superseded,
+            "absorbed": [edge.to_dict() for edge in self.absorbed],
         }

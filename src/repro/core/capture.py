@@ -24,6 +24,7 @@ from typing import TYPE_CHECKING, Protocol
 from ..engine.session import Session
 from ..engine.transactions import Transaction
 from ..errors import OpDeltaError
+from ..obs.pipeline.context import ambient_pipeline
 from ..sql import ast_nodes as ast
 from .opdelta import OpDelta, OpKind, classify_statement, seed_parse_cache
 from .stores import OpDeltaStore
@@ -77,9 +78,13 @@ class OpDeltaCapture:
         hybrid_policy: HybridPolicy | None = None,
         analyzer: StatementAnalyzer | None = None,
         checker: StatementChecker | None = None,
+        source: str | None = None,
     ) -> None:
         self.session = session
         self.store = store
+        #: Lineage source name: the ``<source>`` half of every stamped
+        #: correlation id.  Defaults to the captured database's name.
+        self.source = source if source is not None else session.database.name
         self._tables = tables
         self._policy: HybridPolicy = (
             hybrid_policy if hybrid_policy is not None else CaptureEverythingLean()
@@ -87,6 +92,8 @@ class OpDeltaCapture:
         self._analyzer = analyzer
         self._checker = checker
         self._sequence = 0
+        #: Ops of each open transaction, for lineage commit stamping.
+        self._txn_ops: dict[int, list[OpDelta]] = {}
         self._attached = False
         self.operations_captured = 0
         self.before_images_captured = 0
@@ -134,6 +141,7 @@ class OpDeltaCapture:
         kind, table = classify_statement(statement)
         if self._tables is not None and table not in self._tables:
             return
+        recorder = ambient_pipeline()
         if self._checker is not None:
             # Semantic validation at the wrapper seam: a malformed statement
             # is rejected here — before execution, before it is recorded —
@@ -144,6 +152,13 @@ class OpDeltaCapture:
             if not result.ok:
                 self.statements_rejected += 1
                 self._m_rejected.inc()
+                if recorder is not None:
+                    recorder.record_rejected_statement(
+                        self.source,
+                        table,
+                        session.database.clock.now,
+                        "; ".join(e.code for e in result.errors),
+                    )
                 result.raise_if_errors(sql_text)
         txn = session.current_transaction
         if txn is None:
@@ -166,6 +181,7 @@ class OpDeltaCapture:
             sequence=self._sequence,
             captured_at=session.database.clock.now,
             before_image=before_image,
+            lineage_id=f"{self.source}:{self._sequence}",
             _parsed=statement,
         )
         if self._analyzer is not None:
@@ -174,6 +190,13 @@ class OpDeltaCapture:
         self.store.record(op, txn)
         self.operations_captured += 1
         self._m_statements.inc()
+        if recorder is not None:
+            recorder.record_captured(
+                op, source=self.source, at_ms=session.database.clock.now
+            )
+            if self._checker is not None:
+                recorder.record_checked(op, at_ms=session.database.clock.now)
+            self._txn_ops.setdefault(txn.txn_id, []).append(op)
         # Virtual time the wrapper added to the user's statement — the
         # store write plus any before-image read (Figure 3's overhead).
         self._m_overhead.inc(session.database.clock.now - capture_started)
@@ -198,7 +221,20 @@ class OpDeltaCapture:
         return [tuple(row) for row in result.rows]
 
     def _on_commit(self, txn: Transaction) -> None:
-        self.store.mark_committed(txn, self.session.database.clock.now)
+        committed_at = self.session.database.clock.now
+        self.store.mark_committed(txn, committed_at)
+        ops = self._txn_ops.pop(txn.txn_id, None)
+        recorder = ambient_pipeline()
+        if recorder is not None and ops:
+            recorder.record_committed(ops, committed_at)
 
     def _on_abort(self, txn: Transaction) -> None:
+        ops = self._txn_ops.pop(txn.txn_id, None)
+        recorder = ambient_pipeline()
+        if recorder is not None and ops:
+            # An aborted source transaction's ops never enter transport:
+            # settle them as pruned so lineage conservation still closes.
+            now = self.session.database.clock.now
+            for op in ops:
+                recorder.record_pruned(op, now, stage="aborted")
         self.store.mark_aborted(txn)

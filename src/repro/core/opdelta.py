@@ -130,6 +130,11 @@ class OpDelta:
     captured_at: float
     #: Full before images of the affected rows (hybrid capture only).
     before_image: list[tuple[Any, ...]] | None = None
+    #: Pipeline correlation id, ``<source>:<sequence>``, stamped by
+    #: :class:`~repro.core.capture.OpDeltaCapture` for end-to-end lineage
+    #: (:mod:`repro.obs.pipeline`).  Derivable from the header's source and
+    #: sequence fields, so it adds no wire bytes and stays out of equality.
+    lineage_id: str | None = field(default=None, repr=False, compare=False)
     #: Static-analysis record attached at capture time when the capture
     #: pipeline runs with an :class:`~repro.analysis.OpDeltaAnalyzer`.
     analysis: "AnalysisRecord | None" = field(

@@ -1,0 +1,67 @@
+"""End-to-end Op-Delta lineage, freshness watermarks and the auditor.
+
+The package answers the operational question the paper's online-
+maintenance promise raises: *how stale is each materialized view right
+now, and where in the capture→ship→apply pipeline is the lag?*
+
+* :mod:`repro.obs.pipeline.events` — per-stage lifecycle events
+  (captured / checked / pruned / compacted-away / shipped / enqueued /
+  redelivered / acked / applied / rejected) in a bounded, virtual-time-
+  stamped :class:`EventLog`;
+* :mod:`repro.obs.pipeline.recorder` — the :class:`PipelineRecorder`
+  components report into (installed ambiently via
+  :func:`observe_pipeline`), maintaining per-op lineage, source
+  watermarks, per-(source, table) and per-view freshness and the
+  per-stage lag decomposition;
+* :mod:`repro.obs.pipeline.auditor` — :class:`PipelineAuditor` proves
+  conservation (captured = applied + pruned + absorbed + rejected),
+  flags gaps/duplicates/reorderings as positioned
+  :class:`AuditFinding`\\ s and checksums warehouse state with
+  :class:`StateDigest`;
+* :mod:`repro.obs.pipeline.snapshot` — the :class:`PipelineSnapshot`
+  rendered by ``repro-bench --health``.
+
+Everything here is deterministic virtual time; nothing imports
+:mod:`repro.core` at runtime (ops and groups are duck-typed), keeping the
+core → obs dependency direction intact.
+"""
+
+from .auditor import AuditFinding, AuditReport, PipelineAuditor, StateDigest
+from .context import ambient_pipeline, observe_pipeline
+from .events import (
+    EventLog,
+    LifecycleKind,
+    LineageEvent,
+    lineage_key,
+    lineage_source,
+)
+from .recorder import OpLineage, PipelineRecorder
+from .snapshot import PipelineSnapshot, build_snapshot
+from .watermarks import (
+    LagSamples,
+    SourceWatermark,
+    TableWatermark,
+    ViewFreshness,
+)
+
+__all__ = [
+    "AuditFinding",
+    "AuditReport",
+    "EventLog",
+    "LagSamples",
+    "LifecycleKind",
+    "LineageEvent",
+    "OpLineage",
+    "PipelineAuditor",
+    "PipelineRecorder",
+    "PipelineSnapshot",
+    "SourceWatermark",
+    "StateDigest",
+    "TableWatermark",
+    "ViewFreshness",
+    "ambient_pipeline",
+    "build_snapshot",
+    "lineage_key",
+    "lineage_source",
+    "observe_pipeline",
+]

@@ -1,0 +1,44 @@
+"""Ambient pipeline recorder, mirroring :mod:`repro.obs.context`.
+
+The capture wrapper, the transport layer, the coalescer and both
+integrators all emit lifecycle events — but none of them should grow a
+``recorder`` parameter for an observability concern.  Instead the caller
+installs one ambiently::
+
+    recorder = PipelineRecorder(clock=source.clock)
+    with observe_pipeline(recorder):
+        ...capture / ship / integrate...
+    report = PipelineAuditor(recorder).audit()
+
+While the block is active every pipeline component that checks
+:func:`ambient_pipeline` records into it.  Contexts nest (innermost wins)
+and the stack is plain module state — the engine is single-threaded by
+design, concurrency is modelled by :mod:`repro.sim`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from contextlib import contextmanager
+
+from .recorder import PipelineRecorder
+
+_STACK: list[PipelineRecorder] = []
+
+
+def ambient_pipeline() -> PipelineRecorder | None:
+    """The innermost active recorder, or ``None`` (lineage off)."""
+    return _STACK[-1] if _STACK else None
+
+
+@contextmanager
+def observe_pipeline(
+    recorder: PipelineRecorder | None = None,
+) -> Iterator[PipelineRecorder]:
+    """Install an ambient pipeline recorder for the duration of the block."""
+    active = recorder if recorder is not None else PipelineRecorder()
+    _STACK.append(active)
+    try:
+        yield active
+    finally:
+        _STACK.pop()

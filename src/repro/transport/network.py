@@ -46,6 +46,11 @@ class NetworkModel:
     def bytes_moved(self) -> int:
         return sum(t.payload_bytes for t in self.transfers)
 
+    @property
+    def clock(self) -> VirtualClock:
+        """The network's virtual clock (stamps transfer completion times)."""
+        return self._clock
+
     def transfer(self, payload_bytes: int, description: str = "transfer") -> float:
         """Ship a payload; returns the elapsed virtual milliseconds."""
         if payload_bytes < 0:

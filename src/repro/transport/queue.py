@@ -18,6 +18,7 @@ from ..clock import VirtualClock
 from ..engine.costs import DEFAULT_COST_MODEL, CostModel
 from ..errors import TransportError
 from ..obs.metrics import MetricsLike, MetricsRegistry
+from ..obs.pipeline.context import ambient_pipeline
 
 T = TypeVar("T")
 
@@ -27,6 +28,8 @@ class _Envelope(Generic[T]):
     delivery_id: int
     payload: T
     size_bytes: int
+    #: Delivery attempts so far; >1 on a receive means redelivery.
+    attempts: int = 0
 
 
 class PersistentQueue(Generic[T]):
@@ -55,6 +58,9 @@ class PersistentQueue(Generic[T]):
         # High-water depth counts ready + in-flight: everything the queue
         # still has to durably hold for at-least-once delivery.
         self._m_depth = metrics.gauge("transport.queue.depth", queue=name)
+        self._m_redelivered = metrics.counter(
+            "transport.queue.redelivered", queue=name
+        )
 
     def _track_depth(self) -> None:
         self._m_depth.set(len(self._ready) + len(self._in_flight))
@@ -81,6 +87,9 @@ class PersistentQueue(Generic[T]):
         self._m_enqueued.inc()
         self._m_bytes.inc(size_bytes)
         self._track_depth()
+        recorder = ambient_pipeline()
+        if recorder is not None:
+            recorder.record_enqueued(payload, at_ms=self._clock.now)
         return envelope.delivery_id
 
     # ------------------------------------------------------------------ consume
@@ -96,6 +105,16 @@ class PersistentQueue(Generic[T]):
         envelope = self._ready.popleft()
         self._clock.advance(self._costs.file_read(envelope.size_bytes))
         self._in_flight[envelope.delivery_id] = envelope
+        envelope.attempts += 1
+        if envelope.attempts > 1:
+            # A nacked/recovered message coming around again: the
+            # at-least-once duplicate risk becomes an observable event.
+            self._m_redelivered.inc()
+            recorder = ambient_pipeline()
+            if recorder is not None:
+                recorder.record_redelivered(
+                    envelope.payload, envelope.attempts, at_ms=self._clock.now
+                )
         return envelope.delivery_id, envelope.payload
 
     def receive_window(self, limit: int) -> list[tuple[int, T]]:
@@ -132,12 +151,16 @@ class PersistentQueue(Generic[T]):
 
     def ack(self, delivery_id: int) -> None:
         """Acknowledge successful processing; the message is gone for good."""
-        if delivery_id not in self._in_flight:
+        envelope = self._in_flight.get(delivery_id)
+        if envelope is None:
             raise TransportError(f"unknown or already-settled delivery {delivery_id}")
         self._clock.advance(self._costs.file_write(16) + self._costs.file_sync)
         del self._in_flight[delivery_id]
         self.acknowledged += 1
         self._track_depth()
+        recorder = ambient_pipeline()
+        if recorder is not None:
+            recorder.record_acked(envelope.payload, at_ms=self._clock.now)
 
     def nack(self, delivery_id: int) -> None:
         """Return an unprocessed message to the front of the queue."""

@@ -16,6 +16,8 @@ from ..engine.snapshots import Snapshot
 from ..engine.utilities import AsciiFile, ExportDump
 from ..engine.wal import LogSegment
 from ..extraction.deltas import DeltaBatch
+from ..obs.pipeline.context import ambient_pipeline
+from ..obs.pipeline.events import lineage_key
 from .network import NetworkModel
 from .queue import PersistentQueue
 
@@ -69,6 +71,14 @@ def _pruned_groups(
         return
     for group in groups:
         kept = pruner.prune_transaction(group)
+        recorder = ambient_pipeline()
+        if recorder is not None and kept is not group:
+            surviving = (
+                set() if kept is None else {lineage_key(op) for op in kept.operations}
+            )
+            for op in group.operations:
+                if lineage_key(op) not in surviving:
+                    recorder.record_pruned(op, at_ms=None, stage="transport")
         if kept is not None:
             yield kept
 
@@ -105,11 +115,17 @@ class FileShipper:
         pruner: TransactionPruner | None = None,
         compactor: Compactor | None = None,
     ) -> float:
-        payload = sum(
-            group.size_bytes
-            for group in _shippable_window(groups, pruner, compactor)
-        )
-        return self._network.transfer(payload, "op-deltas")
+        window = list(_shippable_window(groups, pruner, compactor))
+        payload = sum(group.size_bytes for group in window)
+        elapsed = self._network.transfer(payload, "op-deltas")
+        recorder = ambient_pipeline()
+        if recorder is not None:
+            # Stamped when the transfer completes: the whole window moves
+            # as one payload, so every op shares the arrival time.
+            arrived = self._network.clock.now
+            for group in window:
+                recorder.record_shipped(group, at_ms=arrived)
+        return elapsed
 
 
 def enqueue_op_deltas(

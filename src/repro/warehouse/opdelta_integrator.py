@@ -35,6 +35,7 @@ from ..core.transform import StatementTransformer
 from ..engine.session import Session
 from ..errors import WarehouseError
 from ..obs.context import ambient_metrics
+from ..obs.pipeline.context import ambient_pipeline
 from ..semantics.planner import DeltaRule, MaintenancePlan, RuleAction
 from ..sql import ast_nodes as ast
 from .aggregates import MaterializedAggregateView
@@ -77,6 +78,13 @@ class OpDeltaIntegrator:
         )
         self._analyzer = analyzer
         self._plans = dict(plans) if plans is not None else {}
+        #: base table -> names of the views an op on it maintains (lineage).
+        self._views_by_table: dict[str, tuple[str, ...]] = {}
+        for view in [*self._views, *self._aggregate_views]:
+            base = view.definition.base_table
+            self._views_by_table[base] = self._views_by_table.get(base, ()) + (
+                view.definition.name,
+            )
         for view in [*self._views, *self._aggregate_views]:
             plan = self._plans.get(view.definition.name)
             if plan is None:
@@ -179,10 +187,13 @@ class OpDeltaIntegrator:
             self._session.begin()
             txn = self._session.current_transaction
             assert txn is not None
+            applied: list[tuple[OpDeltaTransaction, list[OpDelta]]] = []
             try:
                 for group in members:
+                    settled: list[OpDelta] = []
                     for op in group.operations:
-                        self._apply_op(op, txn, report, memoized_rule)
+                        self._apply_op(op, txn, report, memoized_rule, settled)
+                    applied.append((group, settled))
             except Exception as exc:
                 if self._session.in_transaction:
                     self._session.rollback()
@@ -191,6 +202,8 @@ class OpDeltaIntegrator:
                     f"{tuple(component)} failed: {exc}"
                 ) from exc
             self._session.commit()
+            for group, settled in applied:
+                self._record_applied(settled, group)
             report.transactions += len(members)
             report.components += 1
             report.per_component_ms.append(clock.now - component_started)
@@ -208,9 +221,10 @@ class OpDeltaIntegrator:
         self._session.begin()
         txn = self._session.current_transaction
         assert txn is not None
+        settled: list[OpDelta] = []
         try:
             for op in group.operations:
-                self._apply_op(op, txn, report, self._rule_for)
+                self._apply_op(op, txn, report, self._rule_for, settled)
         except Exception as exc:
             if self._session.in_transaction:
                 self._session.rollback()
@@ -219,6 +233,23 @@ class OpDeltaIntegrator:
                 f"failed: {exc}"
             ) from exc
         self._session.commit()
+        self._record_applied(settled, group)
+
+    def _record_applied(
+        self, settled: list[OpDelta], group: OpDeltaTransaction
+    ) -> None:
+        """Report replayed ops to the ambient pipeline recorder, post-commit."""
+        recorder = ambient_pipeline()
+        if recorder is None or not settled:
+            return
+        now = self._session.database.clock.now
+        for op in settled:
+            recorder.record_applied(
+                op,
+                at_ms=now,
+                committed_at=group.committed_at,
+                views=self._views_by_table.get(op.table, ()),
+            )
 
     def _apply_op(
         self,
@@ -226,11 +257,14 @@ class OpDeltaIntegrator:
         txn: object,
         report: IntegrationReport,
         rule_for: RuleLookup,
+        settled: list[OpDelta] | None = None,
     ) -> None:
         """Replay one operation onto the mirror and every attached view."""
         prepared = self._prepare(op, report)
         if prepared is None:
             return
+        if settled is not None:
+            settled.append(prepared)
         if self._maintain_mirrors:
             statement = self._transformer.transform(prepared.statement)
             result = self._session.execute_statement(statement)
@@ -277,6 +311,11 @@ class OpDeltaIntegrator:
             return op
         if record.pruned:
             report.statements_pruned += 1
+            recorder = ambient_pipeline()
+            if recorder is not None:
+                recorder.record_pruned(
+                    op, at_ms=self._session.database.clock.now, stage="apply"
+                )
             return None
         if record.pinnable:
             pinned = pin_time_functions(op.statement, op.captured_at)
@@ -287,6 +326,13 @@ class OpDeltaIntegrator:
         if record.determinism is Determinism.VOLATILE:
             return self._volatile_fallback(op, report)
         return op
+
+    def _reject(self, op: OpDelta, reason: str) -> None:
+        recorder = ambient_pipeline()
+        if recorder is not None:
+            recorder.record_rejected_op(
+                op, at_ms=self._session.database.clock.now, reason=reason
+            )
 
     def _record_for(self, op: OpDelta) -> AnalysisRecord | None:
         if op.analysis is not None:
@@ -307,6 +353,9 @@ class OpDeltaIntegrator:
         the operation at all.
         """
         if op.kind is not OpKind.DELETE or op.before_image is None:
+            self._reject(
+                op, f"volatile {op.kind.value} without a recoverable after state"
+            )
             raise WarehouseError(
                 f"volatile {op.kind.value} on {op.table!r} cannot be replayed "
                 "from the operation alone; capture it with a hybrid policy "
@@ -319,13 +368,21 @@ class OpDeltaIntegrator:
         schema = self._session.database.table(target).schema
         key_index = schema.primary_key_index()
         if schema.primary_key is None or key_index is None:
+            self._reject(op, "volatile DELETE fallback without a primary key")
             raise WarehouseError(
                 f"volatile DELETE fallback on {op.table!r} needs a primary "
                 "key to address the imaged rows"
             )
         report.fallback_images_applied += 1
         if not op.before_image:
-            return None  # the delete matched no rows at the source
+            # The delete matched no rows at the source — a no-op replay
+            # still settles the op for lineage conservation.
+            recorder = ambient_pipeline()
+            if recorder is not None:
+                recorder.record_applied(
+                    op, at_ms=self._session.database.clock.now
+                )
+            return None
         keys = tuple(
             ast.Literal(row[key_index]) for row in op.before_image
         )

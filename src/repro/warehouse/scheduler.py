@@ -210,6 +210,9 @@ class ScheduleReport:
     parallel_ms: float = 0.0
     #: Busy time of each worker lane, for load-balance inspection.
     worker_busy_ms: list[float] = field(default_factory=list)
+    #: Virtual completion time of each component, in finish order — the
+    #: pipeline-health view of how apply work drains across the lanes.
+    component_finish_ms: list[float] = field(default_factory=list)
 
     @property
     def speedup(self) -> float:
@@ -279,6 +282,7 @@ def run_conflict_schedule(
             for duration in component:
                 yield env.timeout(duration)
                 busy[lane] += duration
+            report.component_finish_ms.append(env.now)
 
     for lane in range(workers):
         env.process(worker(lane), name=f"apply-lane-{lane}")
@@ -291,4 +295,7 @@ def run_conflict_schedule(
         metrics.gauge("warehouse.schedule.serial_ms").set(report.serial_ms)
         metrics.gauge("warehouse.schedule.parallel_ms").set(report.parallel_ms)
         metrics.gauge("warehouse.schedule.speedup").set(report.speedup)
+        drain = metrics.histogram("warehouse.schedule.component_finish_ms")
+        for finish in report.component_finish_ms:
+            drain.observe(finish)
     return report

@@ -24,6 +24,7 @@ from typing import Any, Iterable, Sequence
 from ..engine.session import Session
 from ..errors import WarehouseError
 from ..extraction.deltas import ChangeKind, DeltaBatch
+from ..obs.pipeline.context import ambient_pipeline
 from ..sql import ast_nodes as ast
 from .aggregates import MaterializedAggregateView
 from .views import MaterializedView
@@ -128,6 +129,13 @@ class ValueDeltaIntegrator:
         report.transactions = 1
         report.elapsed_ms = clock.now - started
         report.per_transaction_ms.append(report.elapsed_ms)
+        recorder = ambient_pipeline()
+        if recorder is not None:
+            # Value deltas lose per-op lineage (the paper's point), but the
+            # batch apply is still a freshness-relevant pipeline event.
+            recorder.record_value_batch(
+                batch.table, len(batch.records), at_ms=clock.now
+            )
         return report
 
     def integrate_many(self, batches: Iterable[DeltaBatch]) -> IntegrationReport:

@@ -1,0 +1,105 @@
+"""The `repro-bench --health` gate: exit codes, JSON export, rendering."""
+
+import json
+
+import pytest
+
+from repro.bench.cli import main
+from repro.bench.health import HealthReport, run_health
+from repro.bench.report import render_health
+
+
+@pytest.fixture(scope="module")
+def healthy():
+    return run_health()
+
+
+@pytest.fixture(scope="module")
+def faulted():
+    return run_health(fault="drop-queue-message")
+
+
+class TestHealthReport:
+    def test_clean_pipeline_exits_zero(self, healthy):
+        assert healthy.verdict == "CLEAN"
+        assert healthy.exit_code == 0
+        assert set(healthy.modes) == {"plain", "batched", "compacted"}
+
+    def test_seeded_fault_must_be_detected(self, faulted):
+        # With a fault injected, success means CATCHING it.
+        assert faulted.fault_detected
+        assert faulted.exit_code == 0
+        assert faulted.verdict == "FINDINGS"
+
+    def test_missed_fault_would_fail_the_gate(self, healthy):
+        missed = HealthReport(fault="drop-queue-message", modes=healthy.modes)
+        assert not missed.fault_detected
+        assert missed.exit_code == 1
+
+    def test_unknown_fault_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault"):
+            run_health(fault="unplug-the-rack")
+
+    def test_fault_findings_name_the_lost_message(self, faulted):
+        codes = {
+            finding["code"]
+            for finding in faulted.snapshot.findings
+            if finding["severity"] == "error"
+        }
+        assert "AUD001" in codes  # the dropped-but-acked op is a gap
+        assert "AUD004" in codes  # and the mirrors diverge
+
+    def test_to_dict_round_trips_through_json(self, healthy):
+        payload = json.loads(json.dumps(healthy.to_dict()))
+        assert payload["verdict"] == "CLEAN"
+        assert payload["modes"]["compacted"]["conservation"]["captured"] == 27
+
+
+class TestRendering:
+    def test_render_shows_conservation_and_freshness(self, healthy):
+        text = render_health(healthy)
+        assert "verdict: CLEAN" in text
+        assert "conserved" in text
+        assert "parts_catalog" in text
+        assert "end_to_end" in text
+        assert "MATCH" in text
+
+    def test_render_reports_fault_detection(self, faulted):
+        text = render_health(faulted)
+        assert "DETECTED" in text
+        assert "drop-queue-message" in text
+
+
+class TestCli:
+    def test_health_flag_exits_zero_when_clean(self, capsys):
+        assert main(["--health"]) == 0
+        out = capsys.readouterr().out
+        assert "pipeline health" in out
+        assert "verdict: CLEAN" in out
+
+    def test_health_with_fault_exits_zero_on_detection(self, capsys):
+        assert main(["--health", "--fault", "drop-queue-message"]) == 0
+        assert "DETECTED" in capsys.readouterr().out
+
+    def test_health_json_export(self, tmp_path, capsys):
+        target = tmp_path / "health.json"
+        assert main(["--health", "--json", str(target)]) == 0
+        capsys.readouterr()
+        payload = json.loads(target.read_text())
+        assert payload["verdict"] == "CLEAN"
+        assert "compacted" in payload["modes"]
+
+    def test_json_to_stdout_moves_report_to_stderr(self, capsys):
+        assert main(["--health", "--json", "-"]) == 0
+        captured = capsys.readouterr()
+        assert json.loads(captured.out)["verdict"] == "CLEAN"
+        assert "verdict: CLEAN" in captured.err
+
+    def test_fault_without_health_is_a_usage_error(self, capsys):
+        assert main(["--fault", "drop-queue-message"]) == 2
+        assert "--fault requires --health" in capsys.readouterr().err
+
+    def test_unwritable_json_destination_fails(self, tmp_path, capsys):
+        target = tmp_path / "missing-dir" / "health.json"
+        assert main(["--health", "--json", str(target)]) == 1
+        assert "cannot write" in capsys.readouterr().err

@@ -34,6 +34,11 @@ class TestRepro001WallClock:
         violations = lint_source(tmp_path, "import random\nx = random.randint(1, 6)\n")
         assert any("REPRO001" in v for v in violations)
 
+    def test_wall_clock_formatting_calls_flagged(self, tmp_path):
+        for call in ("time.localtime()", "time.ctime()", "time.strftime('%F')"):
+            violations = lint_source(tmp_path, f"import time\nx = {call}\n")
+            assert any("REPRO001" in v for v in violations), call
+
     def test_seeded_random_instance_allowed(self, tmp_path):
         violations = lint_source(
             tmp_path,
@@ -67,10 +72,33 @@ class TestRepro002MetricNames:
         assert any("REPRO002" in v for v in violations)
 
     def test_three_segments_allowed(self, tmp_path):
-        assert lint_source(tmp_path, "c = registry.counter('a.b.c')\n") == []
+        assert (
+            lint_source(tmp_path, "c = registry.counter('engine.b.c')\n") == []
+        )
         assert (
             lint_source(
                 tmp_path, "h = m.histogram('engine.page.read_latency')\n"
+            )
+            == []
+        )
+
+    def test_unknown_subsystem_flagged(self, tmp_path):
+        violations = lint_source(tmp_path, "c = registry.counter('a.b.c')\n")
+        assert len(violations) == 1
+        assert "REPRO002" in violations[0]
+        assert "unknown subsystem" in violations[0]
+
+    def test_obs_names_must_be_obs_pipeline(self, tmp_path):
+        violations = lint_source(
+            tmp_path, "c = registry.counter('obs.log.dropped')\n"
+        )
+        assert len(violations) == 1
+        assert "REPRO002" in violations[0]
+        assert "obs.pipeline" in violations[0]
+        assert (
+            lint_source(
+                tmp_path,
+                "c = registry.counter('obs.pipeline.events.captured')\n",
             )
             == []
         )

@@ -1,0 +1,237 @@
+"""The pipeline auditor: conservation, duplicates, ordering, digests."""
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.obs.pipeline import (
+    PipelineAuditor,
+    PipelineRecorder,
+    StateDigest,
+    build_snapshot,
+)
+
+
+@dataclass
+class FakeOp:
+    sequence: int
+    txn_id: int = 1
+    table: str = "parts"
+    captured_at: float = 0.0
+    lineage_id: str | None = None
+
+    def __post_init__(self):
+        if self.lineage_id is None:
+            self.lineage_id = f"s:{self.sequence}"
+
+
+@dataclass
+class FakeGroup:
+    txn_id: int
+    operations: list = field(default_factory=list)
+    committed_at: Any = None
+
+
+def captured(recorder, *ops, source="s"):
+    for op in ops:
+        recorder.record_captured(op, source=source, at_ms=op.captured_at)
+
+
+class TestConservation:
+    def test_clean_applied_pipeline_is_conserved(self):
+        recorder = PipelineRecorder()
+        op = FakeOp(1)
+        captured(recorder, op)
+        recorder.record_applied(op, at_ms=5.0)
+        report = PipelineAuditor(recorder).audit()
+        assert report.verdict == "CLEAN"
+        assert report.conservation_holds
+        assert report.conservation["captured"] == 1
+        assert report.conservation["applied"] == 1
+
+    def test_every_settlement_bucket_counts(self):
+        recorder = PipelineRecorder()
+        ops = [FakeOp(i) for i in range(1, 5)]
+        captured(recorder, *ops)
+        recorder.record_applied(ops[0], at_ms=5.0)
+        recorder.record_pruned(ops[1], at_ms=5.0, stage="transport")
+        recorder.record_absorbed(ops[2], ops[0], "fold_updates", at_ms=5.0)
+        recorder.record_rejected_op(ops[3], at_ms=5.0, reason="volatile")
+        report = PipelineAuditor(recorder).audit()
+        assert report.conservation == {
+            "captured": 4,
+            "applied": 1,
+            "pruned": 1,
+            "absorbed": 1,
+            "rejected": 1,
+            "in_flight": 0,
+        }
+        assert report.conservation_holds
+
+    def test_lost_op_breaks_conservation_and_is_positioned(self):
+        recorder = PipelineRecorder()
+        op, lost = FakeOp(1), FakeOp(2)
+        captured(recorder, op, lost)
+        recorder.record_enqueued(
+            FakeGroup(txn_id=1, operations=[lost], committed_at=2.0), at_ms=3.0
+        )
+        recorder.record_applied(op, at_ms=5.0)
+        report = PipelineAuditor(recorder).audit()
+        assert report.verdict == "FINDINGS"
+        assert not report.conservation_holds
+        [finding] = report.errors
+        assert finding.code == "AUD001"
+        assert finding.correlation_id == "s:2"
+        assert finding.stage == "enqueued"
+        assert finding.sequence == 2
+
+
+class TestDuplicates:
+    def test_unexplained_duplicate_apply_is_an_error(self):
+        recorder = PipelineRecorder()
+        op = FakeOp(1)
+        captured(recorder, op)
+        recorder.record_applied(op, at_ms=5.0)
+        recorder.record_applied(op, at_ms=6.0)
+        report = PipelineAuditor(recorder).audit()
+        [finding] = report.errors
+        assert finding.code == "AUD002"
+
+    def test_redelivered_duplicate_is_informational(self):
+        recorder = PipelineRecorder()
+        op = FakeOp(1)
+        group = FakeGroup(txn_id=1, operations=[op], committed_at=1.0)
+        captured(recorder, op)
+        recorder.record_enqueued(group, at_ms=2.0)
+        recorder.record_applied(op, at_ms=3.0)
+        recorder.record_redelivered(group, attempt=2, at_ms=4.0)
+        recorder.record_applied(op, at_ms=5.0)
+        report = PipelineAuditor(recorder).audit()
+        assert report.verdict == "CLEAN"
+        assert [f.code for f in report.findings] == ["AUD005"]
+        assert report.findings[0].severity == "info"
+
+
+class TestAbsorbers:
+    def test_absorber_that_applied_is_fine(self):
+        recorder = PipelineRecorder()
+        survivor, folded = FakeOp(1), FakeOp(2)
+        captured(recorder, survivor, folded)
+        recorder.record_absorbed(folded, survivor, "fold_updates", at_ms=3.0)
+        recorder.record_applied(survivor, at_ms=5.0)
+        assert PipelineAuditor(recorder).audit().verdict == "CLEAN"
+
+    def test_annihilated_pair_needs_no_absorber(self):
+        recorder = PipelineRecorder()
+        a, b = FakeOp(1), FakeOp(2)
+        captured(recorder, a, b)
+        recorder.record_absorbed(a, None, "annihilate_pair", at_ms=3.0)
+        recorder.record_absorbed(b, None, "annihilate_pair", at_ms=3.0)
+        assert PipelineAuditor(recorder).audit().verdict == "CLEAN"
+
+    def test_unsettled_absorber_loses_the_folded_effect(self):
+        recorder = PipelineRecorder()
+        survivor, folded = FakeOp(1), FakeOp(2)
+        captured(recorder, survivor, folded)
+        recorder.record_absorbed(folded, survivor, "fold_updates", at_ms=3.0)
+        # The absorber is never applied: its effect (and the folded op's)
+        # is lost, which AUD006 pins on the absorbed op.
+        report = PipelineAuditor(recorder).audit()
+        codes = {f.code for f in report.errors}
+        assert "AUD006" in codes
+        assert "AUD001" in codes  # the absorber itself is also a gap
+
+
+class TestOrdering:
+    def test_in_order_apply_is_clean(self):
+        recorder = PipelineRecorder()
+        ops = [FakeOp(i) for i in (1, 2, 3)]
+        captured(recorder, *ops)
+        for op in ops:
+            recorder.record_applied(op, at_ms=5.0)
+        assert PipelineAuditor(recorder).audit().verdict == "CLEAN"
+
+    def test_reordered_applies_within_a_transaction_flagged(self):
+        recorder = PipelineRecorder()
+        first, second = FakeOp(1), FakeOp(2)
+        captured(recorder, first, second)
+        recorder.record_applied(second, at_ms=5.0)
+        recorder.record_applied(first, at_ms=6.0)
+        report = PipelineAuditor(recorder).audit()
+        [finding] = report.errors
+        assert finding.code == "AUD003"
+        assert finding.sequence == 1
+
+    def test_cross_transaction_reorder_needs_a_conflict_component(self):
+        recorder = PipelineRecorder()
+        a = FakeOp(1, txn_id=1)
+        b = FakeOp(2, txn_id=2)
+        captured(recorder, a, b)
+        recorder.record_applied(b, at_ms=5.0)
+        recorder.record_applied(a, at_ms=6.0)
+        # Independent transactions may apply in any order...
+        assert PipelineAuditor(recorder).audit().verdict == "CLEAN"
+        # ...but not when they share a conflict component.
+        report = PipelineAuditor(recorder).audit(conflict_components=[(1, 2)])
+        assert [f.code for f in report.errors] == ["AUD003"]
+
+
+class TestStateDigest:
+    def test_remove_inverts_add(self):
+        digest = StateDigest()
+        digest.add((1, "a"))
+        digest.add((2, "b"))
+        digest.remove((1, "a"))
+        assert digest == StateDigest.from_rows([(2, "b")])
+
+    def test_order_independent(self):
+        rows = [(1, "a"), (2, "b"), (3, "c")]
+        assert StateDigest.from_rows(rows) == StateDigest.from_rows(
+            reversed(rows)
+        )
+
+    def test_row_count_disambiguates_xor_cancellation(self):
+        twice = StateDigest.from_rows([(1, "a"), (1, "a")])
+        empty = StateDigest()
+        assert twice != empty
+
+    def test_check_digest_mismatch_is_an_aud004_error(self):
+        recorder = PipelineRecorder()
+        auditor = PipelineAuditor(recorder)
+        report = auditor.audit()
+        ok = auditor.check_digest(
+            report,
+            "mirror",
+            StateDigest.from_rows([(1,)]),
+            StateDigest.from_rows([(2,)]),
+        )
+        assert not ok
+        assert report.digest_checks == {"mirror": False}
+        assert [f.code for f in report.errors] == ["AUD004"]
+        assert report.verdict == "FINDINGS"
+
+
+class TestSnapshot:
+    def test_snapshot_reflects_audit_and_lags(self):
+        recorder = PipelineRecorder()
+        op = FakeOp(1)
+        captured(recorder, op)
+        recorder.record_enqueued(
+            FakeGroup(txn_id=1, operations=[op], committed_at=1.0), at_ms=2.0
+        )
+        recorder.record_applied(op, at_ms=5.0, views=("v",))
+        audit = PipelineAuditor(recorder).audit()
+        snapshot = build_snapshot(recorder, audit, now_ms=10.0)
+        assert snapshot.verdict == "CLEAN"
+        assert snapshot.generated_at_ms == 10.0
+        assert snapshot.events["captured"] == 1
+        assert snapshot.stage_lags["end_to_end"]["count"] == 1.0
+        # commit_to_apply: applied 5.0 - committed 1.0.
+        assert snapshot.stage_lags["commit_to_apply"]["mean"] == 4.0
+        [view] = snapshot.views
+        assert view["view"] == "v"
+        assert view["ops_applied"] == 1
+
+    def test_unaudited_snapshot_says_so(self):
+        snapshot = build_snapshot(PipelineRecorder(), now_ms=0.0)
+        assert snapshot.verdict == "UNAUDITED"
+        assert snapshot.findings == []

@@ -1,0 +1,151 @@
+"""Freshness regression pins: the virtual-time pipeline lags are exact.
+
+Every number here comes from a deterministic virtual-clock run, so these
+are equality pins (modulo float formatting), not tolerance bands.  If a
+pipeline change moves a lag, that is a real freshness regression (or
+improvement) and the pin should be re-derived consciously, not loosened.
+"""
+
+import pytest
+
+from repro.bench.experiments import freshness, online_maintenance
+from repro.bench.health import run_health
+from repro.obs.pipeline import (
+    PipelineAuditor,
+    PipelineRecorder,
+    build_snapshot,
+    observe_pipeline,
+)
+
+EXACT = 1e-6  # virtual-ms; runs are deterministic, this absorbs repr noise
+
+
+class TestHealthSnapshotPins:
+    @pytest.fixture(scope="class")
+    def health(self):
+        return run_health()
+
+    def test_two_runs_are_identical(self, health):
+        assert run_health().to_dict() == health.to_dict()
+
+    def test_flagship_conservation_is_pinned(self, health):
+        assert health.verdict == "CLEAN"
+        assert health.snapshot.conservation == {
+            "captured": 27,
+            "applied": 10,
+            "pruned": 0,
+            "absorbed": 17,
+            "rejected": 0,
+            "in_flight": 0,
+        }
+
+    def test_flagship_stage_lags_are_pinned(self, health):
+        lags = health.snapshot.stage_lags
+        assert lags["capture_to_ship"]["count"] == 10.0
+        assert lags["capture_to_ship"]["mean"] == pytest.approx(
+            2380.1083, abs=1e-3
+        )
+        assert lags["ship_to_apply"]["mean"] == pytest.approx(
+            340.7206, abs=1e-3
+        )
+        assert lags["commit_to_apply"]["mean"] == pytest.approx(
+            2672.01138, abs=1e-3
+        )
+        assert lags["end_to_end"]["mean"] == pytest.approx(2720.8289, abs=1e-3)
+        assert lags["end_to_end"]["max"] == pytest.approx(2874.4192, abs=1e-3)
+
+    def test_flagship_view_is_fully_fresh(self, health):
+        [view] = health.snapshot.views
+        assert view["view"] == "parts_catalog"
+        assert view["ops_applied"] == 10
+        assert view["staleness_ms"] == 0.0
+
+    def test_flagship_watermarks_fully_settled(self, health):
+        [source] = health.snapshot.sources
+        assert source["low_seq"] == source["high_seq"] == 27
+        assert source["in_flight"] == 0
+
+
+class TestSeedFreshnessWorkload:
+    @pytest.fixture(scope="class")
+    def observed(self):
+        recorder = PipelineRecorder()
+        with observe_pipeline(recorder):
+            freshness.run(
+                table_rows=800,
+                txn_rows=8,
+                transactions=6,
+                periods=(20_000.0, 5_000.0),
+            )
+        audit = PipelineAuditor(recorder).audit()
+        return recorder, audit, build_snapshot(recorder, audit, now_ms=0.0)
+
+    def test_streaming_op_settles_cleanly(self, observed):
+        _recorder, audit, _snapshot = observed
+        assert audit.verdict == "CLEAN"
+        assert audit.conservation["captured"] == 1
+        assert audit.conservation["applied"] == 1
+
+    def test_streaming_stage_lags_are_pinned(self, observed):
+        _recorder, _audit, snapshot = observed
+        lags = snapshot.stage_lags
+        assert lags["capture_to_ship"]["mean"] == pytest.approx(
+            78.4868000003, abs=EXACT
+        )
+        assert lags["ship_to_apply"]["mean"] == pytest.approx(
+            28.6890000003, abs=EXACT
+        )
+        assert lags["commit_to_apply"]["mean"] == pytest.approx(
+            80.8108000003, abs=EXACT
+        )
+        assert lags["end_to_end"]["mean"] == pytest.approx(
+            107.1758000007, abs=EXACT
+        )
+
+    def test_mirror_caught_up_with_the_source(self, observed):
+        recorder, _audit, _snapshot = observed
+        table = recorder.tables[("fresh-stream", "parts")]
+        assert table.lag_ms == 0.0
+        assert table.captured_through_ms == pytest.approx(
+            4376.8440000005, abs=EXACT
+        )
+
+
+class TestSeedOnlineMaintenanceWorkload:
+    @pytest.fixture(scope="class")
+    def observed(self):
+        recorder = PipelineRecorder()
+        with observe_pipeline(recorder):
+            online_maintenance.run(
+                table_rows=2_000, transactions=8, txn_rows=5
+            )
+        audit = PipelineAuditor(recorder).audit()
+        return recorder, audit, build_snapshot(recorder, audit, now_ms=0.0)
+
+    def test_backlog_settles_cleanly(self, observed):
+        _recorder, audit, _snapshot = observed
+        assert audit.verdict == "CLEAN"
+        assert audit.conservation["captured"] == 8
+        assert audit.conservation["applied"] == 8
+        assert audit.conservation["in_flight"] == 0
+
+    def test_commit_to_apply_lag_is_pinned(self, observed):
+        _recorder, _audit, snapshot = observed
+        lags = snapshot.stage_lags
+        assert lags["commit_to_apply"]["count"] == 8.0
+        assert lags["commit_to_apply"]["mean"] == pytest.approx(
+            994.4194999897, abs=EXACT
+        )
+        assert lags["commit_to_apply"]["p95"] == pytest.approx(
+            1141.4089999796, abs=EXACT
+        )
+        assert lags["end_to_end"]["mean"] == pytest.approx(
+            1052.2534999868, abs=EXACT
+        )
+
+    def test_op_delta_mirror_caught_up(self, observed):
+        recorder, _audit, _snapshot = observed
+        table = recorder.tables[("ol-source", "parts")]
+        assert table.captured_ops == 8
+        assert table.applied_ops == 8
+        assert table.lag_ms == 0.0

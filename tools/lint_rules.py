@@ -15,8 +15,13 @@ is always fine — only the shared module-level RNG is ambient state.
 **REPRO002 — metric naming.**  Metric names registered through
 ``.counter(...)`` / ``.gauge(...)`` / ``.histogram(...)`` must follow the
 ``<subsystem>.<object>.<event>`` convention: at least three snake_case
-segments joined by dots.  The registry enforces this at runtime; the lint
-catches it before any code runs.
+segments joined by dots, with a first segment from the known-subsystem
+list (``KNOWN_SUBSYSTEMS``) so typos cannot silently mint a new
+namespace.  Names under ``obs.`` must live in ``obs.pipeline.*`` — the
+observability layer's own meta-metrics (lifecycle event counts,
+watermarks, lag histograms) all belong to the pipeline sub-namespace.
+The registry enforces the shape at runtime; the lint catches it before
+any code runs.
 
 **REPRO003 — no swallowed exceptions.**  A bare ``except:`` is always
 banned, as is an ``except Exception:`` / ``except BaseException:`` handler
@@ -58,6 +63,11 @@ BANNED_CALLS = {
     "time.perf_counter_ns",
     "time.process_time",
     "time.process_time_ns",
+    "time.localtime",
+    "time.gmtime",
+    "time.ctime",
+    "time.asctime",
+    "time.strftime",
     "datetime.now",
     "datetime.utcnow",
     "datetime.today",
@@ -91,6 +101,21 @@ METRIC_METHODS = ("counter", "gauge", "histogram")
 
 #: ``<subsystem>.<object>.<event>``: >= 3 snake_case dot segments.
 METRIC_NAME_PATTERN = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+){2,}$")
+
+#: Valid metric-name first segments: one per instrumented subsystem.
+KNOWN_SUBSYSTEMS = frozenset(
+    {
+        "analysis",
+        "capture",
+        "compaction",
+        "core",
+        "engine",
+        "extract",
+        "obs",
+        "transport",
+        "warehouse",
+    }
+)
 
 
 def dotted_name(node: ast.AST) -> str | None:
@@ -197,6 +222,21 @@ def lint_file(path: Path) -> list[str]:
                     f"{path}:{node.lineno}: REPRO002 metric name {metric!r} "
                     "does not follow the '<subsystem>.<object>.<event>' "
                     "snake_case dot-namespace convention"
+                )
+            elif metric.split(".", 1)[0] not in KNOWN_SUBSYSTEMS:
+                violations.append(
+                    f"{path}:{node.lineno}: REPRO002 metric name {metric!r} "
+                    "starts an unknown subsystem namespace; use one of "
+                    f"{', '.join(sorted(KNOWN_SUBSYSTEMS))} (or add the new "
+                    "subsystem to KNOWN_SUBSYSTEMS in tools/lint_rules.py)"
+                )
+            elif metric.startswith("obs.") and not metric.startswith(
+                "obs.pipeline."
+            ):
+                violations.append(
+                    f"{path}:{node.lineno}: REPRO002 metric name {metric!r} "
+                    "is outside the observability layer's own namespace; "
+                    "obs metrics must be named 'obs.pipeline.*'"
                 )
     return violations
 
