@@ -1,0 +1,16 @@
+"""Extension — flight recorder: spike SLO alerting, cost attribution."""
+
+from repro.bench.experiments import flight
+
+
+def test_flight(run_experiment):
+    result = run_experiment(flight.run)
+    # The in-experiment shape checks assert the alert cycle (fires during
+    # the seeded spike, clears after the drain), ledger conservation,
+    # byte-identical repeats, and zero virtual-time sampling cost; on top
+    # of that, the sampled and unsampled runs must agree exactly.
+    sampled, unsampled = result.series["final_virtual_ms"]
+    assert sampled == unsampled
+    assert result.series["slo_findings"][0] >= 4  # fire+clear, both SLOs
+    assert result.series["slo_findings"][1] == 0
+    assert result.series["traced_ms"][0] > 0

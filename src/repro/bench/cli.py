@@ -62,6 +62,15 @@ def main(argv: list[str] | None = None) -> int:
         "the exit code then reports whether the auditor detected it",
     )
     parser.add_argument(
+        "--flight",
+        action="store_true",
+        help="run the flight-recorded pipeline pass instead of experiments: "
+        "drive the seed workload with a seeded load spike under the full "
+        "time-series/cost-attribution/SLO stack, and print the window "
+        "timeline, the top-K cost profile and every burn-rate alert; the "
+        "exit code reports whether the spike alert fired and cleared",
+    )
+    parser.add_argument(
         "--metrics",
         action="store_true",
         help="collect engine/extraction/transport/warehouse metrics during "
@@ -101,6 +110,28 @@ def main(argv: list[str] | None = None) -> int:
         from .check import run_check
 
         return run_check(args.experiments)
+
+    if args.health and args.flight:
+        print("--health and --flight are mutually exclusive", file=sys.stderr)
+        return 2
+
+    if args.flight:
+        from .flight import run_flight
+        from .report import render_flight
+
+        flight = run_flight()
+        destination = sys.stderr if args.json == "-" else sys.stdout
+        print(render_flight(flight), file=destination)
+        if args.json is not None:
+            try:
+                _write(args.json, flight.to_dict())
+            except OSError as exc:
+                print(
+                    f"repro-bench: cannot write {exc.filename}: {exc.strerror}",
+                    file=sys.stderr,
+                )
+                return 1
+        return flight.exit_code
 
     if args.health:
         from .health import run_health

@@ -16,6 +16,7 @@ from . import (
     compaction,
     fig2,
     fig3,
+    flight,
     freshness,
     hybrid_capture,
     maintenance_window,
@@ -52,6 +53,7 @@ REGISTRY: dict[str, Callable[[], ExperimentResult]] = {
     "analysis": analysis.run,
     "semantics": semantics.run,
     "compaction": compaction.run,
+    "flight": flight.run,
 }
 
 __all__ = ["REGISTRY"] + list(REGISTRY)

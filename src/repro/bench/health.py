@@ -52,6 +52,10 @@ from ..workloads.records import parts_schema, strip_timestamp
 from .experiments.common import build_workload_database
 from .experiments.compaction import build_analyzer, _run_workload
 
+#: Version of the ``--health --json`` document layout.  Bump on any
+#: structural change to :meth:`HealthReport.to_dict`.
+SCHEMA_VERSION = 1
+
 #: Pipelines run by one health pass, in report order.
 MODES = ("plain", "batched", "compacted")
 #: The pipeline whose snapshot headlines the report (and takes the fault).
@@ -104,6 +108,7 @@ class HealthReport:
 
     def to_dict(self) -> dict[str, Any]:
         return {
+            "schema_version": SCHEMA_VERSION,
             "fault": self.fault,
             "verdict": self.verdict,
             "fault_detected": self.fault_detected if self.fault else None,

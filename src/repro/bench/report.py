@@ -15,6 +15,7 @@ from typing import TYPE_CHECKING, Any, Sequence
 from ..clock import format_duration
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .flight import FlightReport
     from .health import HealthReport
 
 
@@ -393,6 +394,77 @@ def render_health(report: "HealthReport") -> str:
             out.append(
                 f"  {finding['code']} [{finding['severity']}] "
                 f"{position}{stage}: {finding['message']}"
+            )
+    return "\n".join(out)
+
+
+def render_flight(report: "FlightReport") -> str:
+    """Render one flight recording (``repro-bench --flight``).
+
+    The window timeline (load, backlog, staleness, findings per window),
+    then the top-K cost-attribution profile and every SLO state
+    transition with its position in virtual time.
+    """
+    out = ["== flight recorder =="]
+    verdict = "CLEAN" if report.exit_code == 0 else "FINDINGS"
+    out.append(
+        f"verdict: {verdict} (spike detected: {report.spike_detected}, "
+        f"all clear: {report.all_clear}, "
+        f"ledger conservative: {report.conservative})"
+    )
+    out.append(f"final virtual time: {format_duration(report.final_virtual_ms)}")
+    if report.windows:
+        out.append("")
+        out.append("window timeline:")
+        grid = [
+            ["win", "at", "txns", "enq", "applied", "depth", "staleness", ""]
+        ]
+        for window in report.windows:
+            codes = ",".join(f["code"] for f in window["findings"])
+            marker = "SPIKE" if window["spike"] else ""
+            if codes:
+                marker = f"{marker} {codes}".strip()
+            grid.append(
+                [
+                    str(window["window"]),
+                    format_duration(window["at_ms"]),
+                    str(window["txns"]),
+                    str(window["enqueued"]),
+                    str(window["applied"]),
+                    str(window["queue_depth"]),
+                    format_duration(window["staleness_ms"]),
+                    marker,
+                ]
+            )
+        out.append(_indent(_render_grid(grid)))
+    top = report.top(8)
+    if top:
+        out.append("")
+        total_ms = report.ledger.get("total_traced_ms", 0.0)
+        out.append(
+            f"where did the time go ({format_duration(total_ms)} traced):"
+        )
+        grid = [["stage", "entity", "self time", "share", "spans"]]
+        for row in top:
+            share = row["self_ms"] / total_ms if total_ms else 0.0
+            grid.append(
+                [
+                    row["stage"],
+                    row["entity"],
+                    format_duration(row["self_ms"]),
+                    f"{share * 100:.1f}%",
+                    f"{row['spans']:,}",
+                ]
+            )
+        out.append(_indent(_render_grid(grid)))
+    if report.findings:
+        out.append("")
+        out.append("SLO findings:")
+        for finding in report.findings:
+            out.append(
+                f"  {finding['code']} [{finding['severity']}] "
+                f"@{format_duration(finding['at_ms'])} "
+                f"{finding['objective']}: {finding['message']}"
             )
     return "\n".join(out)
 

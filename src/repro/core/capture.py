@@ -137,17 +137,34 @@ class OpDeltaCapture:
     def _on_statement(
         self, statement: ast.Statement, sql_text: str, session: Session
     ) -> None:
-        capture_started = session.database.clock.now
         kind, table = classify_statement(statement)
         if self._tables is not None and table not in self._tables:
             return
+        tracer = session.database.tracer
+        with tracer.span(
+            "capture.opdelta.statement", table=table, source=self.source
+        ):
+            self._capture_statement(statement, sql_text, session, kind, table)
+
+    def _capture_statement(
+        self,
+        statement: ast.Statement,
+        sql_text: str,
+        session: Session,
+        kind: OpKind,
+        table: str,
+    ) -> None:
+        capture_started = session.database.clock.now
         recorder = ambient_pipeline()
         if self._checker is not None:
             # Semantic validation at the wrapper seam: a malformed statement
             # is rejected here — before execution, before it is recorded —
             # instead of failing at warehouse apply.  Raising aborts the
             # user's statement (capture hooks fire pre-execution).
-            result = self._checker.check_statement(statement)
+            with session.database.tracer.span(
+                "capture.check.statement", table=table, source=self.source
+            ):
+                result = self._checker.check_statement(statement)
             self._m_checked.inc()
             if not result.ok:
                 self.statements_rejected += 1

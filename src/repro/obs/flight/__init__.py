@@ -1,0 +1,56 @@
+"""The flight recorder: time series, cost attribution and SLO alerting.
+
+Three instruments, one question each:
+
+* :mod:`~repro.obs.flight.series` — *when* did things happen?  Bounded
+  virtual-time ring buffers sampled on every shipped window.
+* :mod:`~repro.obs.flight.attribution` — *where* did the time go?  An
+  exactly-conservative per-(stage × entity) ledger over the span tree.
+* :mod:`~repro.obs.flight.slo` — *was that acceptable?*  Declarative
+  freshness/latency objectives with multi-window burn-rate alerting.
+
+Everything here is read-only over signals the rest of ``repro.obs``
+already emits, stamped in virtual time only (lint rule REPRO005).
+"""
+
+from .attribution import (
+    CostAttributor,
+    CostLedger,
+    CostRow,
+    entity_of,
+    stage_of,
+)
+from .series import (
+    DEFAULT_CAPACITY,
+    FlightRecorder,
+    RingSeries,
+    Sample,
+    TimeSeriesStore,
+)
+from .slo import (
+    FreshnessSLO,
+    LatencySLO,
+    Objective,
+    SLOEngine,
+    SLOFinding,
+    burn_rate,
+)
+
+__all__ = [
+    "DEFAULT_CAPACITY",
+    "CostAttributor",
+    "CostLedger",
+    "CostRow",
+    "FlightRecorder",
+    "FreshnessSLO",
+    "LatencySLO",
+    "Objective",
+    "RingSeries",
+    "SLOEngine",
+    "SLOFinding",
+    "Sample",
+    "TimeSeriesStore",
+    "burn_rate",
+    "entity_of",
+    "stage_of",
+]

@@ -23,7 +23,7 @@ transaction groups are duck-typed via the structural protocols in
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Sequence
+from typing import Any, Iterable, Protocol, Sequence
 
 from ...clock import VirtualClock
 from ..context import ambient_metrics
@@ -39,6 +39,18 @@ from .watermarks import LagSamples, SourceWatermark, TableWatermark, ViewFreshne
 
 #: Lag decompositions the recorder samples (virtual ms).
 LAG_STAGES = ("capture_to_ship", "ship_to_apply", "commit_to_apply", "end_to_end")
+
+
+class WindowObserver(Protocol):
+    """Anything wanting a callback per shipped window (the flight recorder).
+
+    Structural on purpose: the pipeline layer must not import
+    :mod:`repro.obs.flight` (the flight recorder observes the pipeline,
+    never the other way round), so the recorder only knows this shape.
+    """
+
+    def on_window_shipped(self, recorder: PipelineRecorder, at_ms: float) -> None:
+        ...
 
 
 @dataclass
@@ -109,9 +121,12 @@ class PipelineRecorder:
         clock: VirtualClock | None = None,
         metrics: MetricsLike | None = None,
         log_capacity: int = 50_000,
+        flight: WindowObserver | None = None,
     ) -> None:
         self._clock = clock
         self._metrics = metrics
+        #: Optional per-shipped-window sampler (the flight recorder).
+        self.flight = flight
         self.log = EventLog(capacity=log_capacity)
         #: correlation id -> lineage, in first-observation order.
         self.lineage: dict[str, OpLineage] = {}
@@ -276,6 +291,21 @@ class PipelineRecorder:
                 record.committed_at = payload.committed_at
             self._emit(LifecycleKind.ENQUEUED, record, at_ms)
             self.lags["capture_to_ship"].add(at_ms - record.captured_at)
+
+    def record_window_shipped(self, at_ms: float, groups: int = 0) -> None:
+        """A whole shippable window left the source (shipped or enqueued).
+
+        This is the flight recorder's sampling tick: every window boundary
+        snapshots lags, freshness, watermarks, queue depth and metrics at
+        one deterministic virtual instant.
+        """
+        metrics = self.metrics
+        if metrics.enabled:
+            metrics.counter("obs.pipeline.windows.shipped").inc()
+            if groups:
+                metrics.counter("obs.pipeline.windows.groups").inc(groups)
+        if self.flight is not None:
+            self.flight.on_window_shipped(self, at_ms)
 
     def record_redelivered(self, payload: Any, attempt: int, at_ms: float) -> None:
         for op in self._group_ops(payload):

@@ -25,6 +25,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
+from ..stats import nearest_rank_percentile
+
 
 @dataclass
 class SourceWatermark:
@@ -161,11 +163,7 @@ class LagSamples:
 
     def percentile(self, q: float) -> float:
         """Nearest-rank percentile over the exact samples (deterministic)."""
-        if not self.values:
-            return 0.0
-        ordered = sorted(self.values)
-        rank = max(1, -(-int(q * 100) * len(ordered) // 100))  # ceil
-        return ordered[min(rank, len(ordered)) - 1]
+        return nearest_rank_percentile(self.values, q)
 
     def summary(self) -> dict[str, float]:
         return {

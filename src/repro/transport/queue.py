@@ -65,6 +65,11 @@ class PersistentQueue(Generic[T]):
     def _track_depth(self) -> None:
         self._m_depth.set(len(self._ready) + len(self._in_flight))
 
+    @property
+    def clock(self) -> VirtualClock:
+        """The queue's own clock (for callers stamping queue-side events)."""
+        return self._clock
+
     def __len__(self) -> int:
         return len(self._ready)
 

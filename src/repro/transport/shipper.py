@@ -16,8 +16,10 @@ from ..engine.snapshots import Snapshot
 from ..engine.utilities import AsciiFile, ExportDump
 from ..engine.wal import LogSegment
 from ..extraction.deltas import DeltaBatch
+from ..obs.context import ambient_tracer
 from ..obs.pipeline.context import ambient_pipeline
 from ..obs.pipeline.events import lineage_key
+from ..obs.tracing import NULL_TRACER
 from .network import NetworkModel
 from .queue import PersistentQueue
 
@@ -117,7 +119,14 @@ class FileShipper:
     ) -> float:
         window = list(_shippable_window(groups, pruner, compactor))
         payload = sum(group.size_bytes for group in window)
-        elapsed = self._network.transfer(payload, "op-deltas")
+        tracer = ambient_tracer() or NULL_TRACER
+        with tracer.span(
+            "transport.ship.op_deltas",
+            clock=self._network.clock,
+            groups=len(window),
+            bytes=payload,
+        ):
+            elapsed = self._network.transfer(payload, "op-deltas")
         recorder = ambient_pipeline()
         if recorder is not None:
             # Stamped when the transfer completes: the whole window moves
@@ -125,6 +134,7 @@ class FileShipper:
             arrived = self._network.clock.now
             for group in window:
                 recorder.record_shipped(group, at_ms=arrived)
+            recorder.record_window_shipped(at_ms=arrived, groups=len(window))
         return elapsed
 
 
@@ -143,7 +153,12 @@ def enqueue_op_deltas(
     stores — and later ships — the compacted statements.
     """
     count = 0
-    for group in _shippable_window(groups, pruner, compactor):
-        queue.enqueue(group, group.size_bytes)
-        count += 1
+    tracer = ambient_tracer() or NULL_TRACER
+    with tracer.span("transport.queue.enqueue_window", clock=queue.clock):
+        for group in _shippable_window(groups, pruner, compactor):
+            queue.enqueue(group, group.size_bytes)
+            count += 1
+    recorder = ambient_pipeline()
+    if recorder is not None:
+        recorder.record_window_shipped(at_ms=queue.clock.now, groups=count)
     return count

@@ -266,8 +266,11 @@ class OpDeltaIntegrator:
         if settled is not None:
             settled.append(prepared)
         if self._maintain_mirrors:
-            statement = self._transformer.transform(prepared.statement)
-            result = self._session.execute_statement(statement)
+            with self._session.database.tracer.span(
+                "warehouse.apply.statement", table=prepared.table
+            ):
+                statement = self._transformer.transform(prepared.statement)
+                result = self._session.execute_statement(statement)
             report.statements_issued += 1
             report.rows_affected += result.rows_affected
         for view in self._views:

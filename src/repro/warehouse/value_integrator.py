@@ -107,12 +107,15 @@ class ValueDeltaIntegrator:
         txn = self._session.current_transaction
         assert txn is not None
         try:
-            for statement in self._batch_statements(
-                batch, target, key_column, key_index
+            with self._session.database.tracer.span(
+                "warehouse.apply.value_batch", table=batch.table
             ):
-                result = self._session.execute_statement(statement)
-                report.statements_issued += 1
-                report.rows_affected += result.rows_affected
+                for statement in self._batch_statements(
+                    batch, target, key_column, key_index
+                ):
+                    result = self._session.execute_statement(statement)
+                    report.statements_issued += 1
+                    report.rows_affected += result.rows_affected
             for view in self._views:
                 if view.definition.base_table == batch.table:
                     view.apply_value_delta(batch.records, txn)

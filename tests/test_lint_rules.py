@@ -231,6 +231,73 @@ class TestRepro004ParseCacheBypass:
         assert violations == []
 
 
+class TestRepro005FlightTimeDiscipline:
+    FLIGHT = "repro/obs/flight/series.py"
+
+    def test_clock_construction_flagged_in_flight_module(self, tmp_path):
+        violations = lint_source(
+            tmp_path,
+            "from repro.clock import VirtualClock\n"
+            "clock = VirtualClock()\n",
+            name=self.FLIGHT,
+        )
+        assert len(violations) == 1
+        assert "REPRO005" in violations[0]
+        assert "VirtualClock" in violations[0]
+
+    def test_ambient_context_flagged_in_flight_module(self, tmp_path):
+        for call in (
+            "ambient_metrics()",
+            "ambient_tracer()",
+            "ambient_pipeline()",
+        ):
+            violations = lint_source(
+                tmp_path,
+                f"from repro.obs.context import {call[:-2]}\nx = {call}\n",
+                name=self.FLIGHT,
+            )
+            assert any("REPRO005" in v for v in violations), call
+
+    def test_qualified_ambient_call_flagged(self, tmp_path):
+        violations = lint_source(
+            tmp_path,
+            "from repro.obs import context\nx = context.ambient_tracer()\n",
+            name=self.FLIGHT,
+        )
+        assert any("REPRO005" in v for v in violations)
+
+    def test_same_calls_allowed_outside_flight(self, tmp_path):
+        source = (
+            "from repro.clock import VirtualClock\n"
+            "clock = VirtualClock()\n"
+        )
+        assert lint_source(tmp_path, source, name="repro/bench/runner.py") == []
+
+    def test_timestamp_arguments_allowed_in_flight(self, tmp_path):
+        violations = lint_source(
+            tmp_path,
+            "def on_window_shipped(self, recorder, at_ms):\n"
+            "    self.store.record('x', at_ms, 1.0)\n",
+            name=self.FLIGHT,
+        )
+        assert violations == []
+
+    def test_shipped_flight_package_is_clean(self):
+        flight_dir = REPO / "src" / "repro" / "obs" / "flight"
+        violations = []
+        for path in sorted(flight_dir.rglob("*.py")):
+            violations.extend(lint_rules.lint_file(path))
+        assert violations == []
+
+    def test_line_numbers_reported(self, tmp_path):
+        violations = lint_source(
+            tmp_path,
+            "from repro.clock import VirtualClock\n\nc = VirtualClock()\n",
+            name=self.FLIGHT,
+        )
+        assert ":3:" in violations[0]
+
+
 class TestCommandLine:
     def run_cli(self, *args):
         return subprocess.run(

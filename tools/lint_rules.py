@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Project-specific AST lint rules for the ``repro`` package.
 
-Four disciplines the standard linters cannot express:
+Five disciplines the standard linters cannot express:
 
 **REPRO001 — virtual-clock discipline.**  All timing inside ``src/repro``
 is deterministic virtual time (:mod:`repro.clock`); wall-clock reads and
@@ -36,6 +36,16 @@ process-wide bounded LRU parse cache (``repro.core.opdelta.PARSE_CACHE``)
 and re-parses a statement the capture pipeline already parsed once.  Use
 the ``OpDelta.statement`` property (or ``PARSE_CACHE.parse``) instead;
 ``core/opdelta.py`` itself is exempt (it implements the cache).
+
+**REPRO005 — flight modules take time as data.**  Modules under
+``repro/obs/flight/`` are pure folds over timestamps handed to them
+(``at_ms`` arguments, span start/end times): they must not construct a
+clock (``VirtualClock(...)``, ``Clock(...)``) or pull ambient
+observability context (``ambient_metrics()`` / ``ambient_tracer()`` /
+``ambient_pipeline()``).  A flight module that reads time on its own can
+disagree with the samples it stores — the recorder's byte-identical
+replay guarantee only holds when every timestamp flows in through the
+sampling seam.
 
 Usage::
 
@@ -95,6 +105,21 @@ CLOCK_EXEMPT_SUFFIXES = ("repro/clock.py",)
 #: The one module allowed to parse ``statement_text`` directly (path
 #: suffixes, ``/``-separated): it implements the shared parse cache.
 PARSE_EXEMPT_SUFFIXES = ("repro/core/opdelta.py",)
+
+#: Path fragment marking the flight-recorder package (REPRO005).
+FLIGHT_PATH_FRAGMENT = "repro/obs/flight/"
+
+#: Call targets banned inside flight modules: clock construction and
+#: ambient observability context (time must arrive as arguments).
+FLIGHT_BANNED_CALLS = frozenset(
+    {
+        "VirtualClock",
+        "Clock",
+        "ambient_metrics",
+        "ambient_tracer",
+        "ambient_pipeline",
+    }
+)
 
 #: Registry methods whose first argument is a metric name.
 METRIC_METHODS = ("counter", "gauge", "histogram")
@@ -177,6 +202,7 @@ def lint_file(path: Path) -> list[str]:
     normalized = str(path).replace("\\", "/")
     clock_exempt = normalized.endswith(CLOCK_EXEMPT_SUFFIXES)
     parse_exempt = normalized.endswith(PARSE_EXEMPT_SUFFIXES)
+    flight_module = FLIGHT_PATH_FRAGMENT in normalized
 
     for node in ast.walk(tree):
         if isinstance(node, ast.ExceptHandler):
@@ -196,6 +222,13 @@ def lint_file(path: Path) -> list[str]:
                 "seeded random.Random instance"
             )
         method = name.rsplit(".", 1)[-1]
+        if flight_module and method in FLIGHT_BANNED_CALLS:
+            violations.append(
+                f"{path}:{node.lineno}: REPRO005 flight modules may not "
+                f"call {method}(); time reaches repro/obs/flight/ only as "
+                "data (at_ms arguments, span timestamps) — inject the "
+                "clock reading at the sampling seam instead"
+            )
         if not parse_exempt and method == "parse":
             for arg in [*node.args, *(kw.value for kw in node.keywords)]:
                 if (
