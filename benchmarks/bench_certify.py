@@ -1,0 +1,16 @@
+"""Extension — schedule certification: proofs, widening, race drill."""
+
+from repro.bench.experiments import certify
+
+
+def test_certify(run_experiment):
+    result = run_experiment(certify.run)
+    # The widened commutativity prover must buy parallelism (fewer
+    # conflict edges, more components) without losing soundness, and the
+    # sanitizer must be free in virtual time (asserted by shape checks).
+    edges_conservative, edges_widened = result.series["conflict_edges"]
+    assert edges_widened < edges_conservative
+    components_conservative, components_widened = result.series["components"]
+    assert components_widened > components_conservative
+    off_ms, on_ms = result.series["sanitizer_elapsed_ms"]
+    assert off_ms == on_ms

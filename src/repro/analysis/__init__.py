@@ -14,12 +14,27 @@ analyzer could not prove it):
   parallel.
 * :mod:`~repro.analysis.relevance` — *does the warehouse care?*  Pruning
   of statements no materialised view (and no mirror) can observe.
+* :mod:`~repro.analysis.certify` — *is this parallel schedule safe to
+  run?*  Static serializability certification of proposed lane
+  assignments plus a vector-clock interference sanitizer that
+  cross-checks the verdict at runtime.
 
 :class:`OpDeltaAnalyzer` is the facade the capture hook, transport layer
 and integrator share.
 """
 
 from .analyzer import AnalysisRecord, OpDeltaAnalyzer
+from .certify import (
+    Certificate,
+    InterferenceSanitizer,
+    LaneSchedule,
+    RaceFinding,
+    ScheduleCertifier,
+    VectorClock,
+    lpt_schedule,
+    plant_lane_swap,
+    single_lane_schedule,
+)
 from .conflict import (
     ConflictGraph,
     build_conflict_graph,
@@ -39,10 +54,12 @@ from .rwsets import (
 from .safety import (
     Determinism,
     commutes,
+    conjunct_negations,
     conjuncts_imply,
     expression_determinism,
     is_idempotent,
     pin_time_functions,
+    predicates_disjoint,
     self_accumulation,
     statement_determinism,
 )
@@ -50,6 +67,15 @@ from .safety import (
 __all__ = [
     "AnalysisRecord",
     "OpDeltaAnalyzer",
+    "Certificate",
+    "InterferenceSanitizer",
+    "LaneSchedule",
+    "RaceFinding",
+    "ScheduleCertifier",
+    "VectorClock",
+    "lpt_schedule",
+    "plant_lane_swap",
+    "single_lane_schedule",
     "pin_time_functions",
     "ConflictGraph",
     "build_conflict_graph",
@@ -66,7 +92,9 @@ __all__ = [
     "range_from_predicate",
     "Determinism",
     "commutes",
+    "conjunct_negations",
     "conjuncts_imply",
+    "predicates_disjoint",
     "expression_determinism",
     "is_idempotent",
     "self_accumulation",

@@ -1,0 +1,43 @@
+"""Static schedule certification + runtime interference sanitizing.
+
+The conflict graph (:mod:`repro.analysis.conflict`) *constructs* orders
+that are claimed equivalent to the source serial order; this package
+independently *proves* a proposed parallel schedule serializable before
+any delta is applied, and cross-checks the verdict at runtime:
+
+* :mod:`~repro.analysis.certify.schedule` — the explicit lane-assignment
+  model (:class:`LaneSchedule`), the deterministic LPT packer mirroring
+  ``run_conflict_schedule``, and the ``swap-lane-ops`` fault planter used
+  by the race drill.
+* :mod:`~repro.analysis.certify.certifier` — :class:`ScheduleCertifier`
+  re-derives every pairwise conflict from pinned statement footprints and
+  emits positioned ``RACE001``–``RACE006`` findings (offending op pair,
+  correlation ids, witness interleaving) when a schedule is not provably
+  serializable; :class:`Certificate` carries the verdict and the
+  commuting-pair statistics.
+* :mod:`~repro.analysis.certify.sanitizer` — an opt-in
+  :class:`InterferenceSanitizer` stamping per-lane vector clocks on every
+  table write under virtual time and flagging unordered conflicting
+  accesses (``RACE101``–``RACE103``) as they happen.
+"""
+
+from .certifier import Certificate, RaceFinding, ScheduleCertifier
+from .sanitizer import InterferenceSanitizer, VectorClock
+from .schedule import (
+    LaneSchedule,
+    lpt_schedule,
+    plant_lane_swap,
+    single_lane_schedule,
+)
+
+__all__ = [
+    "Certificate",
+    "InterferenceSanitizer",
+    "LaneSchedule",
+    "RaceFinding",
+    "ScheduleCertifier",
+    "VectorClock",
+    "lpt_schedule",
+    "plant_lane_swap",
+    "single_lane_schedule",
+]

@@ -28,10 +28,18 @@ def transactions_conflict(
     a: Sequence[StatementFootprint],
     b: Sequence[StatementFootprint],
     key_columns: Mapping[str, str] | None = None,
+    *,
+    structural: bool = True,
 ) -> bool:
-    """Whether two transactions' statement footprints fail to commute."""
+    """Whether two transactions' statement footprints fail to commute.
+
+    ``structural=False`` disables the structural-disjointness widening of
+    the commutativity prover (see :mod:`repro.analysis.safety`).
+    """
     return any(
-        not commutes(fa, fb, key_columns) for fa in a for fb in b
+        not commutes(fa, fb, key_columns, structural=structural)
+        for fa in a
+        for fb in b
     )
 
 
@@ -69,12 +77,15 @@ def build_conflict_graph(
     table_columns: Mapping[str, Sequence[str]] | None = None,
     key_columns: Mapping[str, str] | None = None,
     metrics: MetricsLike | None = None,
+    structural: bool = True,
 ) -> ConflictGraph:
     """Build the conflict graph for a batch of captured transactions.
 
     ``table_columns``/``key_columns`` feed the footprint extractor and the
     commutativity check (see :mod:`repro.analysis.safety`); supplying them
     sharpens the analysis, omitting them only makes it more conservative.
+    ``structural=False`` runs the pre-widening commutativity prover, which
+    is how the certify experiment measures the parallelism delta.
     """
     registry = metrics if metrics is not None else (ambient_metrics() or NULL_REGISTRY)
     # Time-dependent statements are analyzed in their *pinned* form: the
@@ -103,7 +114,10 @@ def build_conflict_graph(
     edges: list[tuple[int, int]] = []
     for i in range(len(groups)):
         for j in range(i + 1, len(groups)):
-            if transactions_conflict(footprints[i], footprints[j], key_columns):
+            if transactions_conflict(
+                footprints[i], footprints[j], key_columns,
+                structural=structural,
+            ):
                 edges.append((txn_ids[i], txn_ids[j]))
                 root_i, root_j = find(i), find(j)
                 if root_i != root_j:

@@ -22,6 +22,18 @@ applied concurrently at the warehouse.
 All judgements are *conservative*: ``commutes`` answers ``True`` only when
 reordering is provably safe, and falls back to ``False`` whenever the
 statement shapes defeat the range extractor.
+
+``commutes`` accepts a ``structural`` flag (default on) enabling the
+*structural-disjointness* widening: two predicate-bounded write sets are
+provably disjoint when one WHERE clause carries a top-level conjunct that
+is the exact structural negation of a conjunct in the other (proved via
+:func:`conjuncts_imply`), e.g. ``status IS NULL`` vs ``status IS NOT
+NULL``.  The proof is sound only while the partitioning columns are
+invariant, so the widening additionally requires that neither statement
+assigns any column referenced by the contradicting conjunct pair.
+Passing ``structural=False`` recovers the original, more conservative
+prover — the certify bench experiment uses both to report the
+parallelism delta.
 """
 
 from __future__ import annotations
@@ -209,13 +221,17 @@ def commutes(
     a: StatementFootprint,
     b: StatementFootprint,
     key_columns: Mapping[str, str] | None = None,
+    *,
+    structural: bool = True,
 ) -> bool:
     """Whether applying ``a`` then ``b`` equals applying ``b`` then ``a``.
 
     ``key_columns`` maps table name to its primary-key column; it is
     required to reason about INSERT pairs, where a key conflict makes the
     outcome order-dependent.  The answer is ``True`` only when reordering
-    is provably state-preserving.
+    is provably state-preserving.  ``structural=False`` disables the
+    structural-disjointness widening (see the module docstring) and runs
+    the original range-only prover.
     """
     det_a = statement_determinism(a.statement)
     det_b = statement_determinism(b.statement)
@@ -234,9 +250,9 @@ def commutes(
     if kind_a == "DELETE" and kind_b == "DELETE":
         return True
     if kind_a == "UPDATE" and kind_b == "UPDATE":
-        return _updates_commute(a, b)
+        return _updates_commute(a, b, structural=structural)
     if kind_a == "DELETE" and kind_b == "UPDATE":
-        return _delete_update_commute(a, b)
+        return _delete_update_commute(a, b, structural=structural)
     pk = None if key_columns is None else key_columns.get(a.table)
     if kind_a == "INSERT" and kind_b == "INSERT":
         return _inserts_commute(a, b, pk)
@@ -277,7 +293,9 @@ def _cannot_move_into(
     return True
 
 
-def _updates_commute(a: StatementFootprint, b: StatementFootprint) -> bool:
+def _updates_commute(
+    a: StatementFootprint, b: StatementFootprint, *, structural: bool = True
+) -> bool:
     # Case 1: provably disjoint row sets, and neither can move rows into
     # the other's range.
     if (
@@ -285,6 +303,12 @@ def _updates_commute(a: StatementFootprint, b: StatementFootprint) -> bool:
         and _cannot_move_into(a, b)
         and _cannot_move_into(b, a)
     ):
+        return True
+    # Case 1b (widening): the WHERE clauses carry structurally
+    # contradicting conjuncts over columns neither statement assigns —
+    # the partition is invariant under both writes, so no row can ever
+    # match both predicates, in either order.
+    if structural and _structurally_disjoint(a, b):
         return True
     # Case 2: possibly-overlapping rows, but the assignments themselves
     # commute pointwise.  Requires that neither WHERE clause references any
@@ -385,8 +409,100 @@ def conjuncts_imply(
     return all(any(conjunct == h for h in have) for conjunct in needed)
 
 
+#: Comparison operators and their exact SQL negations.  ``=`` negates to
+#: either inequality spelling the parser accepts, so a contradiction is
+#: found regardless of which alias the source statement used.
+_NEGATED_OPS: dict[str, tuple[str, ...]] = {
+    "=": ("!=", "<>"),
+    "!=": ("=",),
+    "<>": ("=",),
+    "<": (">=",),
+    "<=": (">",),
+    ">": ("<=",),
+    ">=": ("<",),
+}
+
+
+def conjunct_negations(
+    conjunct: ast.Expression,
+) -> tuple[ast.Expression, ...]:
+    """Structural negations of one conjunct, when exactly expressible.
+
+    Soundness under SQL three-valued logic: whenever ``conjunct``
+    evaluates TRUE on a row, every returned expression evaluates FALSE on
+    that row (a TRUE comparison implies both operands are non-NULL, so
+    the flipped comparison is FALSE; the ``negated`` flag on
+    ``IN``/``BETWEEN``/``LIKE``/``IS NULL`` is an exact complement).
+    Shapes with no exact negation in the AST vocabulary return ``()``.
+    """
+    if isinstance(conjunct, ast.BinaryOp) and conjunct.op in _NEGATED_OPS:
+        return tuple(
+            ast.BinaryOp(op, conjunct.left, conjunct.right)
+            for op in _NEGATED_OPS[conjunct.op]
+        )
+    if isinstance(conjunct, (ast.InList, ast.Between, ast.Like, ast.IsNull)):
+        return (dataclasses.replace(conjunct, negated=not conjunct.negated),)
+    return ()
+
+
+def predicates_disjoint(
+    a_where: ast.Expression | None, b_where: ast.Expression | None
+) -> frozenset[str] | None:
+    """Columns witnessing that the two WHERE clauses match disjoint rows.
+
+    Looks for a top-level conjunct of one clause whose structural negation
+    is *implied* by the other clause (:func:`conjuncts_imply`): a row
+    satisfying both clauses would then make the same conjunct TRUE and
+    FALSE at once.  Returns the columns referenced by the contradicting
+    conjunct — the partition witness — or ``None`` when no contradiction
+    is found.  Callers must check the witness columns stay invariant
+    before concluding anything about reordering (see
+    :func:`_structurally_disjoint`).
+    """
+    if a_where is None or b_where is None:
+        return None
+    for first, second in ((a_where, b_where), (b_where, a_where)):
+        for conjunct in split_conjuncts(second):
+            for negation in conjunct_negations(conjunct):
+                if conjuncts_imply(first, negation):
+                    return frozenset(referenced_columns(conjunct))
+    return None
+
+
+def _structurally_disjoint(
+    a: StatementFootprint, b: StatementFootprint
+) -> bool:
+    """Disjoint row sets via contradicting conjuncts + invariant witness.
+
+    The contradiction proves no row satisfies both WHERE clauses *at the
+    same instant*; requiring that neither statement assigns a witness
+    column extends that to *ever*: the partitioning columns of every row
+    are the same before and after either statement runs, so the row sets
+    each statement matches — and the values it reads from them — are
+    identical in both orders.
+    """
+    where_a = _where_clause(a.statement)
+    where_b = _where_clause(b.statement)
+    witness = predicates_disjoint(where_a, where_b)
+    if witness is None:
+        return False
+    assigned = {x.column for x in a.assignments} | {
+        x.column for x in b.assignments
+    }
+    return not (witness & assigned)
+
+
+def _where_clause(statement: ast.Statement) -> ast.Expression | None:
+    if isinstance(statement, (ast.UpdateStmt, ast.DeleteStmt)):
+        return statement.where
+    return None
+
+
 def _delete_update_commute(
-    delete: StatementFootprint, update: StatementFootprint
+    delete: StatementFootprint,
+    update: StatementFootprint,
+    *,
+    structural: bool = True,
 ) -> bool:
     # Safe when the update cannot change which rows the delete matches and
     # deleting first cannot change what the update writes (deleted rows are
@@ -394,9 +510,14 @@ def _delete_update_commute(
     update_assigned = {x.column for x in update.assignments}
     if not update_assigned & delete.where_columns:
         return True
-    return _ranges_disjoint(delete, update) and _cannot_move_into(
+    if _ranges_disjoint(delete, update) and _cannot_move_into(
         delete, update
-    )
+    ):
+        return True
+    # Widening: a structurally contradicting conjunct pair over columns
+    # the update does not assign partitions the rows for good — the
+    # delete can never claim a row the update touches, and vice versa.
+    return structural and _structurally_disjoint(delete, update)
 
 
 def _inserts_commute(

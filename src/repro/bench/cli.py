@@ -56,10 +56,20 @@ def main(argv: list[str] | None = None) -> int:
         "and print per-view freshness, per-stage lag and the auditor verdict",
     )
     parser.add_argument(
+        "--certify",
+        action="store_true",
+        help="run the schedule-certification pass instead of experiments: "
+        "statically prove the seed plain/batched/compacted schedules "
+        "serializable, measure the widened commutativity prover's "
+        "parallelism delta, and verify state parity and zero sanitizer "
+        "overhead",
+    )
+    parser.add_argument(
         "--fault",
-        choices=["drop-queue-message"],
-        help="with --health: seed this fault into the flagship pipeline; "
-        "the exit code then reports whether the auditor detected it",
+        choices=["drop-queue-message", "swap-lane-ops"],
+        help="seed this fault into the flagship pass (drop-queue-message "
+        "with --health, swap-lane-ops with --certify); the exit code then "
+        "reports whether the fault was detected",
     )
     parser.add_argument(
         "--flight",
@@ -111,9 +121,42 @@ def main(argv: list[str] | None = None) -> int:
 
         return run_check(args.experiments)
 
-    if args.health and args.flight:
-        print("--health and --flight are mutually exclusive", file=sys.stderr)
+    chosen = [
+        name
+        for enabled, name in (
+            (args.health, "--health"),
+            (args.flight, "--flight"),
+            (args.certify, "--certify"),
+        )
+        if enabled
+    ]
+    if len(chosen) > 1:
+        print(f"{' and '.join(chosen)} are mutually exclusive", file=sys.stderr)
         return 2
+    if args.fault == "drop-queue-message" and not args.health:
+        print("--fault drop-queue-message requires --health", file=sys.stderr)
+        return 2
+    if args.fault == "swap-lane-ops" and not args.certify:
+        print("--fault swap-lane-ops requires --certify", file=sys.stderr)
+        return 2
+
+    if args.certify:
+        from .certify import run_certify
+        from .report import render_certify
+
+        certify = run_certify(fault=args.fault)
+        destination = sys.stderr if args.json == "-" else sys.stdout
+        print(render_certify(certify), file=destination)
+        if args.json is not None:
+            try:
+                _write(args.json, certify.to_dict())
+            except OSError as exc:
+                print(
+                    f"repro-bench: cannot write {exc.filename}: {exc.strerror}",
+                    file=sys.stderr,
+                )
+                return 1
+        return certify.exit_code
 
     if args.flight:
         from .flight import run_flight
@@ -150,9 +193,6 @@ def main(argv: list[str] | None = None) -> int:
                 )
                 return 1
         return health.exit_code
-    if args.fault is not None:
-        print("--fault requires --health", file=sys.stderr)
-        return 2
 
     if args.list or not args.experiments:
         if not args.list:

@@ -13,6 +13,7 @@ from . import (
     aggregate_views,
     analysis,
     capture_levels,
+    certify,
     compaction,
     fig2,
     fig3,
@@ -53,6 +54,7 @@ REGISTRY: dict[str, Callable[[], ExperimentResult]] = {
     "analysis": analysis.run,
     "semantics": semantics.run,
     "compaction": compaction.run,
+    "certify": certify.run,
     "flight": flight.run,
 }
 

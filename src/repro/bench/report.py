@@ -15,6 +15,7 @@ from typing import TYPE_CHECKING, Any, Sequence
 from ..clock import format_duration
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .certify import CertifyReport
     from .flight import FlightReport
     from .health import HealthReport
 
@@ -466,6 +467,105 @@ def render_flight(report: "FlightReport") -> str:
                 f"@{format_duration(finding['at_ms'])} "
                 f"{finding['objective']}: {finding['message']}"
             )
+    return "\n".join(out)
+
+
+def render_certify(report: "CertifyReport") -> str:
+    """Render one certification pass (``repro-bench --certify``).
+
+    Per-schedule certificates, the widening delta (what the structural
+    commutativity prover buys), the state-parity and sanitizer-overhead
+    verdicts, and — for the race drill — every positioned ``RACE*``
+    finding with its witness interleaving.
+    """
+    out = ["== schedule certification =="]
+    if report.fault is not None:
+        status = "DETECTED" if report.fault_detected else "MISSED"
+        out.append(f"seeded fault: {report.fault} -> {status}")
+    out.append(
+        f"verdict: {report.verdict} "
+        f"({report.transactions} txns, {report.operations} ops, "
+        f"{report.lanes} lanes)"
+    )
+    grid = [
+        ["schedule", "verdict", "pairs", "conflicting", "commuting", "findings"]
+    ]
+    for mode, summary in report.modes.items():
+        grid.append(
+            [
+                mode,
+                summary["verdict"],
+                f"{summary['pairs_checked']:,}",
+                f"{summary['conflicting_pairs']:,}",
+                f"{summary['commuting_pairs']:,}",
+                str(len(summary["findings"])),
+            ]
+        )
+    out.append(_indent(_render_grid(grid)))
+    if report.widening:
+        conservative = report.widening["conservative"]
+        widened = report.widening["widened"]
+        out.append("")
+        out.append(
+            "commutativity widening: "
+            f"{conservative['edges']} -> {widened['edges']} conflict edges, "
+            f"{conservative['components']} -> {widened['components']} "
+            f"components ({report.widening['newly_commuting_pairs']} pairs "
+            "newly proven commuting, "
+            f"{'sound' if report.widening['sound'] else 'UNSOUND'})"
+        )
+    if report.parity:
+        out.append(
+            "state parity: "
+            f"{'bit-identical' if report.parity['bit_identical'] else 'DIVERGED'} "
+            "across serial / batched / sanitized-batched "
+            f"(sanitizer {'clean' if report.parity['sanitizer_clean'] else 'FINDINGS'})"
+        )
+    if report.overhead:
+        out.append(
+            "sanitizer overhead: "
+            f"{format_duration(report.overhead['sanitizer_off_elapsed_ms'])} off vs "
+            f"{format_duration(report.overhead['sanitizer_on_elapsed_ms'])} on "
+            f"({'zero virtual-time overhead' if report.overhead['zero_virtual_overhead'] else 'OVERHEAD DETECTED'})"
+        )
+    if report.drill is not None:
+        out.append("")
+        out.append("race drill (swap-lane-ops):")
+        static = report.drill["static"]
+        out.append(
+            f"  static certifier: {static['verdict']} "
+            f"({len(static['findings'])} finding(s))"
+        )
+        for finding in static["findings"][:3]:
+            lanes = ""
+            if finding["lane_a"] is not None or finding["lane_b"] is not None:
+                lanes = f" [lane {finding['lane_a']} vs lane {finding['lane_b']}]"
+            out.append(
+                f"    {finding['code']} {finding['table']}: "
+                f"{finding['op_a']} vs {finding['op_b']}{lanes}"
+            )
+            if finding["witness"]:
+                out.append(
+                    "      witness interleaving: "
+                    + " -> ".join(finding["witness"])
+                )
+        dynamic = report.drill["dynamic_findings"]
+        codes: dict[str, int] = {}
+        for finding in dynamic:
+            codes[finding["code"]] = codes.get(finding["code"], 0) + 1
+        summary = ", ".join(f"{code} x{n}" for code, n in sorted(codes.items()))
+        out.append(
+            f"  runtime sanitizer: {len(dynamic)} finding(s)"
+            + (f" ({summary})" if summary else "")
+        )
+        out.append(
+            "  integrator pre-flight: "
+            + (
+                "REFUSED to run the planted schedule"
+                if report.drill["integrator_rejected"]
+                else "RAN IT (fault missed)"
+            )
+        )
     return "\n".join(out)
 
 

@@ -66,7 +66,7 @@ from ..obs.pipeline.context import ambient_pipeline
 from ..obs.pipeline.events import lineage_key
 from ..sql import ast_nodes as ast
 from ..sql.expressions import evaluate, is_true, referenced_columns
-from .report import AbsorbedEdge, CompactionReport
+from .report import AbsorbedEdge, CompactionReport, ReorderObligation
 
 
 @dataclasses.dataclass(frozen=True)
@@ -207,8 +207,13 @@ class Coalescer:
         Scans backwards from the window tail.  ``current`` may only reach
         a candidate by provably commuting with every operation after it;
         non-coalescible operations are hard barriers.  Returns ``True``
-        when ``current`` was consumed by a rule.
+        when ``current`` was consumed by a rule.  Every op the scan
+        commuted past on the way to a *successful* combine is recorded as
+        a :class:`~repro.compaction.report.ReorderObligation` — the
+        surviving statement's effect moved earlier, and the certifier
+        re-proves each hop before the window is applied.
         """
+        hops: list[OpDelta] = []
         i = len(entries) - 1
         while i >= 0:
             candidate = entries[i]
@@ -216,6 +221,7 @@ class Coalescer:
                 outcome = self._combine(candidate, current, report)
                 if outcome is DROP_BOTH:
                     del entries[i]
+                    self._record_reorders(report, current.op, hops)
                     return True
                 if outcome is DROP_PREV:
                     del entries[i]
@@ -223,13 +229,34 @@ class Coalescer:
                     continue
                 if isinstance(outcome, _Entry):
                     entries[i] = outcome
+                    self._record_reorders(report, current.op, hops)
                     return True
             if not candidate.coalescible or not commutes(
                 candidate.footprint, current.footprint, self._key_columns
             ):
                 return False
+            hops.append(candidate.op)
             i -= 1
         return False
+
+    def _record_reorders(
+        self,
+        report: CompactionReport,
+        moved: OpDelta,
+        hops: Sequence[OpDelta],
+    ) -> None:
+        """Flush the commutativity proofs a successful combine relied on."""
+        for passed in hops:
+            report.reorder_obligations.append(
+                ReorderObligation(
+                    moved=lineage_key(moved),
+                    over=lineage_key(passed),
+                    table=moved.table or "",
+                    txn_id=moved.txn_id,
+                    moved_sequence=moved.sequence,
+                    over_sequence=passed.sequence,
+                )
+            )
 
     # ------------------------------------------------------------------- rules
     def _combine(

@@ -29,6 +29,37 @@ class AbsorbedEdge:
         }
 
 
+@dataclass(frozen=True)
+class ReorderObligation:
+    """One commutativity proof the coalescer relied on to move an effect.
+
+    When a combining rewrite fires, the surviving statement's effect
+    teleports backwards past every op the scan commuted over; each hop is
+    recorded here so the schedule certifier
+    (:meth:`repro.analysis.certify.ScheduleCertifier.verify_compaction`)
+    can independently re-prove it against the uncompacted window.
+    ``moved``/``over`` are lineage keys; the ``(txn_id, sequence)``
+    coordinates locate the ops in the original groups.
+    """
+
+    moved: str
+    over: str
+    table: str
+    txn_id: int
+    moved_sequence: int
+    over_sequence: int
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "moved": self.moved,
+            "over": self.over,
+            "table": self.table,
+            "txn_id": self.txn_id,
+            "moved_sequence": self.moved_sequence,
+            "over_sequence": self.over_sequence,
+        }
+
+
 @dataclass
 class CompactionReport:
     """What one :meth:`~repro.compaction.Coalescer.compact_window` did.
@@ -58,6 +89,11 @@ class CompactionReport:
     updates_superseded: int = 0
     #: Lineage edges: every op a rewrite removed, with its absorber.
     absorbed: list[AbsorbedEdge] = field(default_factory=list)
+    #: Commutativity proofs behind every effect the compactor moved; the
+    #: schedule certifier re-derives each one before apply.
+    reorder_obligations: list[ReorderObligation] = field(
+        default_factory=list
+    )
 
     @property
     def ops_removed(self) -> int:
@@ -87,6 +123,7 @@ class CompactionReport:
         self.pairs_annihilated += other.pairs_annihilated
         self.updates_superseded += other.updates_superseded
         self.absorbed.extend(other.absorbed)
+        self.reorder_obligations.extend(other.reorder_obligations)
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -103,4 +140,8 @@ class CompactionReport:
             "pairs_annihilated": self.pairs_annihilated,
             "updates_superseded": self.updates_superseded,
             "absorbed": [edge.to_dict() for edge in self.absorbed],
+            "reorder_obligations": [
+                obligation.to_dict()
+                for obligation in self.reorder_obligations
+            ],
         }

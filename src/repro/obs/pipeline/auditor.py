@@ -345,10 +345,29 @@ class PipelineAuditor:
                     message=(
                         f"state divergence at {position}: expected digest "
                         f"{expected.hexdigest()}, warehouse has "
-                        f"{actual.hexdigest()}"
+                        f"{actual.hexdigest()}{self._race_correlation()}"
                     ),
                     correlation_id=None,
                     stage=position,
                 )
             )
         return matched
+
+    def _race_correlation(self) -> str:
+        """Fold sanitizer race records into a digest-divergence message.
+
+        When the interference sanitizer observed unordered conflicting
+        accesses at apply time, a digest mismatch is almost certainly the
+        race taking effect — so AUD004 names the suspect op pair instead
+        of leaving two independent findings for the operator to join.
+        """
+        races = self._recorder.races
+        if not races:
+            return ""
+        first = races[0]
+        more = f" (+{len(races) - 1} more)" if len(races) > 1 else ""
+        return (
+            "; runtime interference correlates: "
+            f"{first.code} {first.op_a} × {first.op_b} "
+            f"on {first.table}{more}"
+        )

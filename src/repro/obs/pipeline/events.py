@@ -52,6 +52,10 @@ class LifecycleKind(enum.Enum):
     #: Refused — semantic rejection at capture, or an unreplayable
     #: volatile statement at apply.
     REJECTED = "rejected"
+    #: The interference sanitizer observed an unordered conflicting
+    #: access involving this op at apply time (``detail`` carries the
+    #: ``RACE1xx`` code and the other op's correlation id).
+    RACE = "race"
 
 
 @runtime_checkable

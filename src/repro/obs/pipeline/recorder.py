@@ -113,6 +113,35 @@ class OpLineage:
         return "captured"
 
 
+@dataclass(frozen=True)
+class RaceRecord:
+    """One interference-sanitizer detection, kept for audit correlation.
+
+    ``op_a``/``op_b`` are the correlation ids of the unordered
+    conflicting pair; ``code`` is the sanitizer's ``RACE1xx`` class.  The
+    :class:`~repro.obs.pipeline.auditor.PipelineAuditor` folds these into
+    its ``AUD004`` digest-divergence findings instead of reporting the
+    two signals independently.
+    """
+
+    code: str
+    op_a: str
+    op_b: str
+    table: str
+    at_ms: float
+    detail: str = ""
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "code": self.code,
+            "op_a": self.op_a,
+            "op_b": self.op_b,
+            "table": self.table,
+            "at_ms": self.at_ms,
+            "detail": self.detail,
+        }
+
+
 class PipelineRecorder:
     """Collects lineage, watermarks and lag samples for one pipeline run."""
 
@@ -138,6 +167,8 @@ class PipelineRecorder:
         }
         #: Capture-seam rejections (pre-capture, so no lineage entry).
         self.statements_rejected_at_capture = 0
+        #: Interference-sanitizer detections (for AUD004 correlation).
+        self.races: list[RaceRecord] = []
         #: Value-delta batches applied (no per-op lineage on that path).
         self.value_batches_applied = 0
         self._apply_counter = 0
@@ -425,6 +456,55 @@ class PipelineRecorder:
         record.rejected_reason = reason
         self._emit(LifecycleKind.REJECTED, record, at_ms, detail=reason)
         self._settle(record)
+
+    def record_race(
+        self,
+        code: str,
+        op_a: str,
+        op_b: str,
+        table: str,
+        at_ms: float,
+        detail: str = "",
+    ) -> None:
+        """The interference sanitizer saw an unordered conflicting access.
+
+        ``op_a``/``op_b`` are correlation ids (the sanitizer works on
+        already-correlated ops).  The detection is kept on
+        :attr:`races` so the auditor can *correlate* it with digest
+        divergence rather than report a second, independent finding.
+        """
+        self.races.append(
+            RaceRecord(
+                code=code,
+                op_a=op_a,
+                op_b=op_b,
+                table=table,
+                at_ms=at_ms,
+                detail=detail,
+            )
+        )
+        record = self.lineage.get(op_a)
+        event_detail = f"{code} with={op_b}"
+        if detail:
+            event_detail += f" {detail}"
+        if record is not None:
+            self._emit(LifecycleKind.RACE, record, at_ms, detail=event_detail)
+        else:
+            self.log.append(
+                LineageEvent(
+                    kind=LifecycleKind.RACE,
+                    correlation_id=op_a,
+                    at_ms=at_ms,
+                    table=table,
+                    detail=event_detail,
+                )
+            )
+            metrics = self.metrics
+            if metrics.enabled:
+                metrics.counter("obs.pipeline.events.race").inc()
+        metrics = self.metrics
+        if metrics.enabled:
+            metrics.counter("obs.pipeline.races.detected").inc()
 
     def record_value_batch(self, table: str, rows: int, at_ms: float) -> None:
         """A value-delta batch applied (no per-op lineage on that path)."""

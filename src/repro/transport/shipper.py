@@ -15,6 +15,7 @@ from ..core.opdelta import OpDeltaTransaction
 from ..engine.snapshots import Snapshot
 from ..engine.utilities import AsciiFile, ExportDump
 from ..engine.wal import LogSegment
+from ..errors import TransportError
 from ..extraction.deltas import DeltaBatch
 from ..obs.context import ambient_tracer
 from ..obs.pipeline.context import ambient_pipeline
@@ -52,16 +53,63 @@ class Compactor(Protocol):
     ) -> tuple[list[OpDeltaTransaction], CompactionReport]: ...
 
 
+class ReorderCertifier(Protocol):
+    """Compaction-reorder verification at the transport boundary.
+
+    Structural stand-in for
+    :class:`repro.analysis.certify.ScheduleCertifier` (same reasoning as
+    the other seams): every commutativity proof the compactor relied on
+    to move an effect is re-derived against the *uncompacted* window
+    before a single rewritten byte is shipped or enqueued.
+    """
+
+    def verify_compaction(
+        self,
+        groups: Iterable[OpDeltaTransaction],
+        obligations: Iterable[object],
+    ) -> "_CertificateLike": ...
+
+
+class _CertificateLike(Protocol):
+    @property
+    def certified(self) -> bool: ...
+    @property
+    def findings(self) -> tuple[object, ...]: ...
+
+
 def _shippable_window(
     groups: Iterable[OpDeltaTransaction],
     pruner: TransactionPruner | None,
     compactor: Compactor | None,
+    certifier: ReorderCertifier | None = None,
 ) -> Iterable[OpDeltaTransaction]:
-    """Prune first (cheap, per-statement), then compact what remains."""
+    """Prune first (cheap, per-statement), then compact what remains.
+
+    With a ``certifier``, the compaction pass's reorder obligations are
+    re-proven against the uncompacted window; an unproven reordering
+    aborts the shipment with :class:`~repro.errors.TransportError` —
+    a miscompacted window must never reach the warehouse.
+    """
     pruned = _pruned_groups(groups, pruner)
     if compactor is None:
         return pruned
-    compacted, _report = compactor.compact_window(pruned)
+    if certifier is None:
+        compacted, _report = compactor.compact_window(pruned)
+        return compacted
+    window = list(pruned)
+    compacted, report = compactor.compact_window(window)
+    certificate = certifier.verify_compaction(
+        window, report.reorder_obligations
+    )
+    if not certificate.certified:
+        rendered = "; ".join(
+            getattr(f, "render", lambda: str(f))()
+            for f in certificate.findings
+        )
+        raise TransportError(
+            "compaction certification rejected the shippable window "
+            f"({len(certificate.findings)} finding(s)): {rendered}"
+        )
     return compacted
 
 
@@ -116,8 +164,9 @@ class FileShipper:
         groups: Iterable[OpDeltaTransaction],
         pruner: TransactionPruner | None = None,
         compactor: Compactor | None = None,
+        certifier: ReorderCertifier | None = None,
     ) -> float:
-        window = list(_shippable_window(groups, pruner, compactor))
+        window = list(_shippable_window(groups, pruner, compactor, certifier))
         payload = sum(group.size_bytes for group in window)
         tracer = ambient_tracer() or NULL_TRACER
         with tracer.span(
@@ -143,6 +192,7 @@ def enqueue_op_deltas(
     groups: Iterable[OpDeltaTransaction],
     pruner: TransactionPruner | None = None,
     compactor: Compactor | None = None,
+    certifier: ReorderCertifier | None = None,
 ) -> int:
     """Feed Op-Delta groups into a persistent queue (one message per txn).
 
@@ -150,12 +200,15 @@ def enqueue_op_deltas(
     dropped first and transactions left empty by pruning are not enqueued
     at all.  With a ``compactor``, the surviving window is rewritten
     (:mod:`repro.compaction`) before any message is enqueued, so the queue
-    stores — and later ships — the compacted statements.
+    stores — and later ships — the compacted statements.  With a
+    ``certifier``, the compactor's reorder obligations are re-proven
+    first and an unproven reordering raises
+    :class:`~repro.errors.TransportError` instead of enqueuing.
     """
     count = 0
     tracer = ambient_tracer() or NULL_TRACER
     with tracer.span("transport.queue.enqueue_window", clock=queue.clock):
-        for group in _shippable_window(groups, pruner, compactor):
+        for group in _shippable_window(groups, pruner, compactor, certifier):
             queue.enqueue(group, group.size_bytes)
             count += 1
     recorder = ambient_pipeline()

@@ -27,6 +27,13 @@ import dataclasses
 from typing import Callable, Iterable, Mapping, Sequence
 
 from ..analysis.analyzer import AnalysisRecord, OpDeltaAnalyzer, pin_time_functions
+from ..analysis.certify import (
+    InterferenceSanitizer,
+    LaneSchedule,
+    ScheduleCertifier,
+    lpt_schedule,
+    single_lane_schedule,
+)
 from ..analysis.conflict import ConflictGraph
 from ..analysis.safety import Determinism
 from ..core.apply import OpDeltaApplier
@@ -67,8 +74,10 @@ class OpDeltaIntegrator:
         analyzer: OpDeltaAnalyzer | None = None,
         aggregate_views: Sequence[MaterializedAggregateView] = (),
         plans: Mapping[str, MaintenancePlan] | None = None,
+        sanitizer: InterferenceSanitizer | None = None,
     ) -> None:
         self._session = session
+        self._sanitizer = sanitizer
         self._applier = OpDeltaApplier(session, transformer)
         self._views = list(views)
         self._aggregate_views = list(aggregate_views)
@@ -102,11 +111,31 @@ class OpDeltaIntegrator:
                     "the op-delta integrator"
                 )
 
-    def integrate(self, groups: Iterable[OpDeltaTransaction]) -> IntegrationReport:
-        """Apply each source transaction as its own warehouse transaction."""
+    def integrate(
+        self,
+        groups: Iterable[OpDeltaTransaction],
+        *,
+        certify: bool = True,
+    ) -> IntegrationReport:
+        """Apply each source transaction as its own warehouse transaction.
+
+        When an analyzer is attached, the apply order is first certified
+        as a single-lane schedule: the pre-flight proves the given order
+        preserves source order for every conflicting pair (out-of-order
+        windows are rejected before any statement runs).  ``certify=False``
+        opts out — the check is pure computation and costs no virtual
+        time, but callers replaying deliberately non-serial fixtures can
+        disable it.
+        """
+        groups = list(groups)
         report = IntegrationReport(mode="op-delta")
         clock = self._session.database.clock
         started = clock.now
+        if certify and self._analyzer is not None and groups:
+            graph = self._analyzer.conflict_graph(groups)
+            self._certify_schedule(
+                groups, graph, single_lane_schedule(groups), report
+            )
         for group in groups:
             group_started = clock.now
             self._apply_group(group, report)
@@ -120,6 +149,10 @@ class OpDeltaIntegrator:
         groups: Iterable[OpDeltaTransaction],
         graph: ConflictGraph | None = None,
         report: IntegrationReport | None = None,
+        *,
+        lanes: int | None = None,
+        schedule: LaneSchedule | None = None,
+        certify: bool = True,
     ) -> IntegrationReport:
         """Group-commit apply: one warehouse transaction per conflict component.
 
@@ -143,6 +176,22 @@ class OpDeltaIntegrator:
 
         ``graph`` defaults to the attached analyzer's conflict graph over
         ``groups``.
+
+        **Certification pre-flight.**  When an analyzer is attached and
+        ``certify`` is true (the default), the proposed apply order is
+        statically proven serializable by the
+        :class:`~repro.analysis.certify.ScheduleCertifier` before any
+        statement runs; a ``REJECTED`` certificate raises
+        :class:`~repro.errors.WarehouseError` with the positioned
+        ``RACE*`` findings.  ``schedule`` is the lane assignment to
+        certify (e.g. from :func:`~repro.analysis.certify.lpt_schedule`);
+        with ``lanes`` set one is derived by LPT packing, and with
+        neither the actual serial component order is certified.  When a
+        :class:`~repro.analysis.certify.InterferenceSanitizer` was passed
+        at construction, every settled op is additionally observed on its
+        schedule lane (timestamped with its own ``captured_at`` — no
+        clock reads, zero virtual-time overhead) so the runtime verdict
+        cross-checks the static one.
         """
         groups = list(groups)
         if report is None:
@@ -166,6 +215,23 @@ class OpDeltaIntegrator:
                 f"conflict graph does not cover transactions {missing}; "
                 "build it over the same window being applied"
             )
+        if schedule is None:
+            if lanes is not None:
+                schedule = lpt_schedule(groups, graph, lanes=lanes)
+            else:
+                # The batched integrator itself applies components
+                # serially in graph order; certify that actual order.
+                schedule = LaneSchedule(
+                    lanes=(
+                        tuple(
+                            txn_id
+                            for component in graph.components
+                            for txn_id in component
+                        ),
+                    )
+                )
+        if certify and self._analyzer is not None:
+            self._certify_schedule(groups, graph, schedule, report)
 
         memo: dict[tuple[str, OpKind, str], DeltaRule | None] = {}
 
@@ -204,6 +270,14 @@ class OpDeltaIntegrator:
             self._session.commit()
             for group, settled in applied:
                 self._record_applied(settled, group)
+                if self._sanitizer is not None:
+                    lane = schedule.lane_of(group.txn_id)
+                    for op in settled:
+                        self._sanitizer.observe(
+                            lane if lane is not None else 0,
+                            op,
+                            at_ms=op.captured_at,
+                        )
             report.transactions += len(members)
             report.components += 1
             report.per_component_ms.append(clock.now - component_started)
@@ -216,6 +290,25 @@ class OpDeltaIntegrator:
                 report.rule_cache_hits
             )
         return report
+
+    def _certify_schedule(
+        self,
+        groups: Sequence[OpDeltaTransaction],
+        graph: ConflictGraph,
+        schedule: LaneSchedule,
+        report: IntegrationReport,
+    ) -> None:
+        """Mandatory pre-flight: refuse to run an uncertified schedule."""
+        certifier = ScheduleCertifier.for_analyzer(self._analyzer)
+        certificate = certifier.certify(groups, graph, schedule)
+        report.certificate_verdict = certificate.verdict
+        report.race_findings = [f.render() for f in certificate.findings]
+        if not certificate.certified:
+            raise WarehouseError(
+                "schedule certification rejected the proposed apply order "
+                f"({len(certificate.findings)} finding(s)): "
+                + "; ".join(report.race_findings)
+            )
 
     def _apply_group(self, group: OpDeltaTransaction, report: IntegrationReport) -> None:
         self._session.begin()

@@ -1,0 +1,473 @@
+"""Schedule certifier, interference sanitizer and the widened prover."""
+
+import pytest
+
+from repro.analysis.certify import (
+    InterferenceSanitizer,
+    LaneSchedule,
+    ScheduleCertifier,
+    VectorClock,
+    lpt_schedule,
+    plant_lane_swap,
+    single_lane_schedule,
+)
+from repro.analysis.conflict import build_conflict_graph
+from repro.analysis.rwsets import extract_footprint
+from repro.analysis.safety import (
+    commutes,
+    conjunct_negations,
+    predicates_disjoint,
+)
+from repro.compaction.report import ReorderObligation
+from repro.core.opdelta import OpDelta, OpDeltaTransaction, OpKind
+from repro.errors import AnalysisError, TransportError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.pipeline.context import observe_pipeline
+from repro.obs.pipeline.recorder import PipelineRecorder
+from repro.sql.parser import parse
+
+KEYS = {"t": "id"}
+
+
+def txn(txn_id, *statements):
+    ops = []
+    for seq, sql in enumerate(statements):
+        parsed = parse(sql)
+        kind = {
+            "InsertStmt": OpKind.INSERT,
+            "UpdateStmt": OpKind.UPDATE,
+            "DeleteStmt": OpKind.DELETE,
+        }[type(parsed).__name__]
+        ops.append(
+            OpDelta(
+                statement_text=sql,
+                table=parsed.table,
+                kind=kind,
+                txn_id=txn_id,
+                sequence=seq,
+                captured_at=float(txn_id),
+            )
+        )
+    return OpDeltaTransaction(txn_id=txn_id, operations=ops)
+
+
+def fp(sql):
+    return extract_footprint(parse(sql))
+
+
+#: Two transactions whose UPDATE ranges overlap: a real conflict.
+CONFLICTING = (
+    "UPDATE t SET a = 1 WHERE id >= 0 AND id < 10",
+    "UPDATE t SET a = 2 WHERE id >= 5 AND id < 15",
+)
+#: Disjoint key ranges: provably commuting.
+DISJOINT = (
+    "UPDATE t SET a = 1 WHERE id >= 0 AND id < 10",
+    "UPDATE t SET a = 2 WHERE id >= 10 AND id < 20",
+)
+
+
+def conflicting_groups():
+    return [txn(1, CONFLICTING[0]), txn(2, CONFLICTING[1])]
+
+
+def certify(groups, schedule, **kwargs):
+    graph = build_conflict_graph(groups, key_columns=KEYS)
+    certifier = ScheduleCertifier(key_columns=KEYS, **kwargs)
+    return certifier.certify(groups, graph, schedule)
+
+
+class TestVectorClock:
+    def test_tick_orders_same_lane(self):
+        zero = VectorClock.zero(2)
+        one = zero.tick(0)
+        two = one.tick(0)
+        assert one.happens_before(two)
+        assert not two.happens_before(one)
+
+    def test_independent_lanes_are_concurrent(self):
+        a = VectorClock.zero(2).tick(0)
+        b = VectorClock.zero(2).tick(1)
+        assert a.concurrent_with(b)
+        assert b.concurrent_with(a)
+
+    def test_merge_joins_the_orders(self):
+        a = VectorClock.zero(2).tick(0)
+        b = VectorClock.zero(2).tick(1).merge(a).tick(1)
+        assert a.happens_before(b)
+        assert not a.concurrent_with(b)
+
+    def test_clock_never_precedes_itself(self):
+        clock = VectorClock.zero(3).tick(1)
+        assert not clock.happens_before(clock)
+
+
+class TestLaneSchedule:
+    def test_positions_and_ids(self):
+        schedule = LaneSchedule(lanes=((1, 3), (2,)))
+        assert schedule.lane_count == 2
+        assert schedule.transaction_ids == (1, 3, 2)
+        assert schedule.lane_of(3) == 0
+        assert schedule.lane_of(2) == 1
+        assert schedule.lane_of(99) is None
+        assert schedule.position_of(3) == (0, 1)
+        assert schedule.position_of(99) is None
+        assert schedule.to_dict() == {"lanes": [[1, 3], [2]]}
+
+    def test_single_lane_schedule_keeps_window_order(self):
+        groups = conflicting_groups()
+        schedule = single_lane_schedule(groups)
+        assert schedule.lanes == ((1, 2),)
+
+
+class TestLptSchedule:
+    def make(self):
+        groups = [
+            txn(1, CONFLICTING[0]),
+            txn(2, CONFLICTING[1]),
+            txn(3, "UPDATE t SET a = 3 WHERE id >= 100 AND id < 110"),
+        ]
+        return groups, build_conflict_graph(groups, key_columns=KEYS)
+
+    def test_components_stay_whole_and_ordered(self):
+        groups, graph = self.make()
+        schedule = lpt_schedule(groups, graph, lanes=2)
+        # The conflicting component {1, 2} lands on one lane in capture
+        # order; the independent txn 3 gets the other lane.
+        assert schedule.lane_of(1) == schedule.lane_of(2)
+        assert schedule.lane_of(3) != schedule.lane_of(1)
+        lane = schedule.lanes[schedule.lane_of(1)]
+        assert lane.index(1) < lane.index(2)
+
+    def test_costs_steer_the_packing_deterministically(self):
+        groups, graph = self.make()
+        first = lpt_schedule(groups, graph, lanes=2, costs={3: 100.0})
+        # Costs only change which lane fills first, never the members.
+        assert sorted(first.transaction_ids) == [1, 2, 3]
+        assert first == lpt_schedule(groups, graph, lanes=2, costs={3: 100.0})
+
+    def test_lane_count_must_be_positive(self):
+        groups, graph = self.make()
+        with pytest.raises(AnalysisError):
+            lpt_schedule(groups, graph, lanes=0)
+
+
+class TestPlantLaneSwap:
+    def test_moves_one_side_of_a_conflict_edge(self):
+        groups = conflicting_groups()
+        graph = build_conflict_graph(groups, key_columns=KEYS)
+        schedule = LaneSchedule(lanes=((1, 2), ()))
+        planted = plant_lane_swap(schedule, graph)
+        assert planted.lane_of(1) != planted.lane_of(2)
+        # Deterministic: the same inputs plant the same race.
+        assert planted == plant_lane_swap(schedule, graph)
+
+    def test_needs_two_lanes(self):
+        groups = conflicting_groups()
+        graph = build_conflict_graph(groups, key_columns=KEYS)
+        with pytest.raises(AnalysisError):
+            plant_lane_swap(single_lane_schedule(groups), graph)
+
+    def test_needs_a_conflict_edge(self):
+        groups = [txn(1, DISJOINT[0]), txn(2, DISJOINT[1])]
+        graph = build_conflict_graph(groups, key_columns=KEYS)
+        with pytest.raises(AnalysisError):
+            plant_lane_swap(LaneSchedule(lanes=((1,), (2,))), graph)
+
+
+class TestScheduleCertifier:
+    def test_serial_order_certifies(self):
+        groups = conflicting_groups()
+        certificate = certify(groups, single_lane_schedule(groups))
+        assert certificate.certified
+        assert certificate.verdict == "CERTIFIED"
+        assert certificate.pairs_checked == 1
+        assert certificate.conflicting_pairs == 1
+        assert certificate.commuting_pairs == 0
+
+    def test_cross_lane_conflict_is_race001_with_witness(self):
+        groups = conflicting_groups()
+        certificate = certify(groups, LaneSchedule(lanes=((1,), (2,))))
+        assert not certificate.certified
+        (finding,) = certificate.findings
+        assert finding.code == "RACE001"
+        assert (finding.lane_a, finding.lane_b) == (0, 1)
+        # The witness is an admitted order that runs the late op first.
+        assert finding.witness
+        assert finding.witness[-1] == finding.op_a
+        assert finding.op_b in finding.witness
+        assert "witness interleaving" in finding.render()
+
+    def test_same_lane_inversion_is_race002(self):
+        groups = conflicting_groups()
+        certificate = certify(groups, LaneSchedule(lanes=((2, 1),)))
+        codes = [f.code for f in certificate.findings]
+        assert codes == ["RACE002"]
+
+    def test_disjoint_transactions_may_straddle_lanes(self):
+        groups = [txn(1, DISJOINT[0]), txn(2, DISJOINT[1])]
+        certificate = certify(groups, LaneSchedule(lanes=((1,), (2,))))
+        assert certificate.certified
+        assert certificate.conflicting_pairs == 0
+
+    def test_missing_transaction_is_race005(self):
+        groups = conflicting_groups()
+        certificate = certify(groups, LaneSchedule(lanes=((1,),)))
+        assert any(f.code == "RACE005" for f in certificate.findings)
+
+    def test_duplicated_transaction_is_race005(self):
+        groups = conflicting_groups()
+        certificate = certify(groups, LaneSchedule(lanes=((1, 2), (2,))))
+        assert any(
+            f.code == "RACE005" and "more than once" in f.message
+            for f in certificate.findings
+        )
+
+    def test_unanalyzed_transaction_is_race006(self):
+        groups = conflicting_groups()
+        graph = build_conflict_graph(groups[:1], key_columns=KEYS)
+        certifier = ScheduleCertifier(key_columns=KEYS)
+        certificate = certifier.certify(
+            groups, graph, single_lane_schedule(groups)
+        )
+        assert any(f.code == "RACE006" for f in certificate.findings)
+
+    def test_metrics_account_for_checks_and_findings(self):
+        registry = MetricsRegistry()
+        groups = conflicting_groups()
+        graph = build_conflict_graph(groups, key_columns=KEYS)
+        certifier = ScheduleCertifier(key_columns=KEYS, metrics=registry)
+        certifier.certify(groups, graph, LaneSchedule(lanes=((1,), (2,))))
+        counters = registry.snapshot()["counters"]
+        assert counters["analysis.certify.schedules_checked"] == 1
+        assert counters["analysis.certify.findings_raised"] == 1
+
+    def test_finding_to_dict_round_trips_the_position(self):
+        groups = conflicting_groups()
+        certificate = certify(groups, LaneSchedule(lanes=((1,), (2,))))
+        doc = certificate.to_dict()
+        assert doc["verdict"] == "REJECTED"
+        assert doc["findings"][0]["code"] == "RACE001"
+        assert doc["findings"][0]["witness"]
+
+
+class TestVerifyCompaction:
+    def obligation(self, moved_seq, over_seq):
+        return ReorderObligation(
+            moved=f"txn1:op{moved_seq}",
+            over=f"txn1:op{over_seq}",
+            table="t",
+            txn_id=1,
+            moved_sequence=moved_seq,
+            over_sequence=over_seq,
+        )
+
+    def test_proven_reordering_certifies(self):
+        groups = [txn(1, DISJOINT[0], DISJOINT[1])]
+        certifier = ScheduleCertifier(key_columns=KEYS)
+        certificate = certifier.verify_compaction(
+            groups, [self.obligation(1, 0)]
+        )
+        assert certificate.certified
+        assert certificate.reorder_checks == 1
+
+    def test_unproven_reordering_is_race003(self):
+        groups = [txn(1, CONFLICTING[0], CONFLICTING[1])]
+        certifier = ScheduleCertifier(key_columns=KEYS)
+        certificate = certifier.verify_compaction(
+            groups, [self.obligation(1, 0)]
+        )
+        assert [f.code for f in certificate.findings] == ["RACE003"]
+
+    def test_dangling_obligation_is_race005(self):
+        groups = [txn(1, DISJOINT[0], DISJOINT[1])]
+        certifier = ScheduleCertifier(key_columns=KEYS)
+        certificate = certifier.verify_compaction(
+            groups, [self.obligation(99, 0)]
+        )
+        assert [f.code for f in certificate.findings] == ["RACE005"]
+
+    def test_barrier_crossing_is_race004(self):
+        groups = [txn(1, DISJOINT[0], DISJOINT[1])]
+        # A before image marks the op as a hybrid barrier.
+        object.__setattr__(
+            groups[0].operations[0], "before_image", [(1, "x")]
+        )
+        certifier = ScheduleCertifier(key_columns=KEYS)
+        certificate = certifier.verify_compaction(
+            groups, [self.obligation(1, 0)]
+        )
+        assert [f.code for f in certificate.findings] == ["RACE004"]
+
+
+class TestWidenedProver:
+    PARTITIONED = (
+        "UPDATE t SET a = 1 WHERE b = 7 AND id >= 0 AND id < 10",
+        "UPDATE t SET a = 2 WHERE b <> 7 AND id >= 0 AND id < 10",
+    )
+
+    def test_conjunct_negations_flip_comparisons(self):
+        where = parse("UPDATE t SET a = 1 WHERE b = 7").where
+        negations = conjunct_negations(where)
+        assert negations
+        rendered = {type(n).__name__ for n in negations}
+        assert rendered  # structural expressions, one per flipped operator
+
+    def test_predicates_disjoint_finds_the_partition_witness(self):
+        where_a = parse(self.PARTITIONED[0]).where
+        where_b = parse(self.PARTITIONED[1]).where
+        witness = predicates_disjoint(where_a, where_b)
+        assert witness == frozenset({"b"})
+
+    def test_overlapping_predicates_have_no_witness(self):
+        where_a = parse(CONFLICTING[0]).where
+        where_b = parse(CONFLICTING[1]).where
+        assert predicates_disjoint(where_a, where_b) is None
+
+    def test_widening_proves_the_partitioned_pair_commutes(self):
+        a, b = (fp(sql) for sql in self.PARTITIONED)
+        assert commutes(a, b, KEYS, structural=True)
+        assert not commutes(a, b, KEYS, structural=False)
+
+    def test_soundness_guard_rejects_witness_column_writes(self):
+        # The second statement assigns the partition witness column b:
+        # after it runs, rows can migrate across the partition, so the
+        # structural proof must refuse.
+        a = fp(self.PARTITIONED[0])
+        b = fp("UPDATE t SET b = 7 WHERE b <> 7 AND id >= 0 AND id < 10")
+        assert not commutes(a, b, KEYS, structural=True)
+
+    def test_widening_never_narrows(self):
+        # Anything the conservative prover accepts, the widened one does.
+        a, b = (fp(sql) for sql in DISJOINT)
+        assert commutes(a, b, KEYS, structural=False)
+        assert commutes(a, b, KEYS, structural=True)
+
+
+class TestInterferenceSanitizer:
+    def make_ops(self, sqls):
+        group = txn(1, *sqls)
+        return group.operations
+
+    def test_unordered_conflicting_writes_are_flagged(self):
+        sanitizer = InterferenceSanitizer(2, key_columns=KEYS)
+        op_a, op_b = self.make_ops(CONFLICTING)
+        sanitizer.observe(0, op_a, at_ms=1.0)
+        sanitizer.observe(1, op_b, at_ms=2.0)
+        assert not sanitizer.clean
+        (finding,) = sanitizer.findings
+        assert finding.code == "RACE102"
+        assert (finding.lane_a, finding.lane_b) == (0, 1)
+
+    def test_fence_orders_the_lanes(self):
+        sanitizer = InterferenceSanitizer(2, key_columns=KEYS)
+        op_a, op_b = self.make_ops(CONFLICTING)
+        sanitizer.observe(0, op_a, at_ms=1.0)
+        sanitizer.fence(0, 1)
+        sanitizer.observe(1, op_b, at_ms=2.0)
+        assert sanitizer.clean
+
+    def test_commuting_accesses_are_not_races(self):
+        sanitizer = InterferenceSanitizer(2, key_columns=KEYS)
+        op_a, op_b = self.make_ops(DISJOINT)
+        sanitizer.observe(0, op_a, at_ms=1.0)
+        sanitizer.observe(1, op_b, at_ms=2.0)
+        assert sanitizer.clean
+
+    def test_same_lane_accesses_are_program_ordered(self):
+        sanitizer = InterferenceSanitizer(2, key_columns=KEYS)
+        op_a, op_b = self.make_ops(CONFLICTING)
+        sanitizer.observe(0, op_a, at_ms=1.0)
+        sanitizer.observe(0, op_b, at_ms=2.0)
+        assert sanitizer.clean
+
+    def test_lost_update_classified_race101(self):
+        sanitizer = InterferenceSanitizer(2, key_columns=KEYS)
+        op_a, op_b = self.make_ops(
+            (
+                "UPDATE t SET a = a + 1 WHERE id >= 0 AND id < 10",
+                "UPDATE t SET a = 2 WHERE id >= 5 AND id < 15",
+            )
+        )
+        sanitizer.observe(0, op_a, at_ms=1.0)
+        sanitizer.observe(1, op_b, at_ms=2.0)
+        assert [f.code for f in sanitizer.findings] == ["RACE101"]
+
+    def test_read_of_uncommitted_classified_race103(self):
+        sanitizer = InterferenceSanitizer(2, key_columns=KEYS)
+        op_a, op_b = self.make_ops(
+            (
+                "UPDATE t SET a = b + 1 WHERE id >= 0 AND id < 10",
+                "UPDATE t SET b = 5 WHERE id >= 5 AND id < 15",
+            )
+        )
+        sanitizer.observe(0, op_a, at_ms=1.0)
+        sanitizer.observe(1, op_b, at_ms=2.0)
+        assert [f.code for f in sanitizer.findings] == ["RACE103"]
+
+    def test_findings_deduplicate_per_op_pair(self):
+        sanitizer = InterferenceSanitizer(2, key_columns=KEYS)
+        op_a, op_b = self.make_ops(CONFLICTING)
+        sanitizer.observe(0, op_a, at_ms=1.0)
+        sanitizer.observe(1, op_b, at_ms=2.0)
+        # The same racy pair observed again raises no second finding.
+        sanitizer.observe(1, op_b, at_ms=3.0)
+        assert len(sanitizer.findings) == 1
+
+    def test_replay_drives_a_planted_schedule(self):
+        groups = conflicting_groups()
+        sanitizer = InterferenceSanitizer(2, key_columns=KEYS)
+        findings = sanitizer.replay(
+            groups, LaneSchedule(lanes=((1,), (2,)))
+        )
+        assert findings
+        assert findings == sanitizer.findings
+
+    def test_replay_of_the_serial_schedule_is_clean(self):
+        groups = conflicting_groups()
+        sanitizer = InterferenceSanitizer(1, key_columns=KEYS)
+        assert sanitizer.replay(groups, single_lane_schedule(groups)) == ()
+
+    def test_detections_reach_the_pipeline_recorder(self):
+        recorder = PipelineRecorder()
+        sanitizer = InterferenceSanitizer(2, key_columns=KEYS)
+        op_a, op_b = self.make_ops(CONFLICTING)
+        with observe_pipeline(recorder):
+            sanitizer.observe(0, op_a, at_ms=1.0)
+            sanitizer.observe(1, op_b, at_ms=2.0)
+        (race,) = recorder.races
+        assert race.code == "RACE102"
+        assert race.table == "t"
+        assert race.at_ms == 2.0
+
+
+class TestTransportCertifierSeam:
+    def test_unproven_window_refuses_to_ship(self):
+        from repro.compaction import Coalescer
+        from repro.transport.shipper import _shippable_window
+
+        class VetoCertifier:
+            def verify_compaction(self, groups, obligations):
+                certifier = ScheduleCertifier(key_columns=KEYS)
+                groups = list(groups)
+                return certifier.verify_compaction(
+                    groups,
+                    [
+                        ReorderObligation(
+                            moved="txn1:op0",
+                            over="txn1:op1",
+                            table="t",
+                            txn_id=1,
+                            moved_sequence=99,
+                            over_sequence=1,
+                        )
+                    ],
+                )
+
+        groups = [txn(1, DISJOINT[0], DISJOINT[1])]
+        with pytest.raises(TransportError):
+            list(
+                _shippable_window(
+                    groups, None, Coalescer(key_columns=KEYS), VetoCertifier()
+                )
+            )

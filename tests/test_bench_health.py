@@ -97,7 +97,7 @@ class TestCli:
 
     def test_fault_without_health_is_a_usage_error(self, capsys):
         assert main(["--fault", "drop-queue-message"]) == 2
-        assert "--fault requires --health" in capsys.readouterr().err
+        assert "requires --health" in capsys.readouterr().err
 
     def test_unwritable_json_destination_fails(self, tmp_path, capsys):
         target = tmp_path / "missing-dir" / "health.json"

@@ -77,6 +77,6 @@ class TestPublicSurfaces:
             "maintenance_window", "remote_trigger", "online_maintenance",
             "snapshot_algorithms", "hybrid_capture", "timestamp_index",
             "freshness", "capture_levels", "aggregate_views", "sensitivity",
-            "analysis", "semantics", "compaction", "flight",
+            "analysis", "semantics", "compaction", "certify", "flight",
         }
         assert set(REGISTRY) == expected

@@ -298,6 +298,90 @@ class TestRepro005FlightTimeDiscipline:
         assert ":3:" in violations[0]
 
 
+class TestRepro006WarehouseMutations:
+    OUTSIDER = "repro/warehouse/scheduler.py"
+
+    def test_direct_insert_flagged_outside_commit_paths(self, tmp_path):
+        violations = lint_source(
+            tmp_path,
+            "def seed(self, txn, row):\n"
+            "    self.table.insert(txn, row)\n",
+            name=self.OUTSIDER,
+        )
+        assert len(violations) == 1
+        assert "REPRO006" in violations[0]
+        assert ".insert()" in violations[0]
+
+    def test_all_mutation_methods_flagged(self, tmp_path):
+        for call in (
+            "table.insert(txn, row)",
+            "table.update(txn, row_id, row)",
+            "table.delete(txn, row_id)",
+            "session.execute_statement(stmt)",
+        ):
+            violations = lint_source(
+                tmp_path, f"def go(table, session, **kw):\n    {call}\n",
+                name=self.OUTSIDER,
+            )
+            assert any("REPRO006" in v for v in violations), call
+
+    def test_commit_paths_are_exempt(self, tmp_path):
+        source = "def apply(self, txn, row):\n    self.table.insert(txn, row)\n"
+        for name in (
+            "repro/warehouse/opdelta_integrator.py",
+            "repro/warehouse/value_integrator.py",
+            "repro/warehouse/views.py",
+            "repro/warehouse/aggregates.py",
+        ):
+            assert lint_source(tmp_path, source, name=name) == [], name
+
+    def test_bulk_internal_mode_is_exempt(self, tmp_path):
+        violations = lint_source(
+            tmp_path,
+            "def load(self, txn, row):\n"
+            "    self.table.insert(txn, row, mode=InsertMode.BULK_INTERNAL)\n",
+            name=self.OUTSIDER,
+        )
+        assert violations == []
+
+    def test_other_modes_still_flagged(self, tmp_path):
+        violations = lint_source(
+            tmp_path,
+            "def load(self, txn, row):\n"
+            "    self.table.insert(txn, row, mode=InsertMode.NORMAL)\n",
+            name=self.OUTSIDER,
+        )
+        assert any("REPRO006" in v for v in violations)
+
+    def test_same_calls_allowed_outside_warehouse(self, tmp_path):
+        source = "def go(table, txn, row):\n    table.insert(txn, row)\n"
+        assert lint_source(tmp_path, source, name="repro/engine/table.py") == []
+
+    def test_bare_function_calls_ignored(self, tmp_path):
+        # Only attribute calls mutate a table/session object.
+        violations = lint_source(
+            tmp_path,
+            "def go(items, item):\n    insert(items, item)\n",
+            name=self.OUTSIDER,
+        )
+        assert violations == []
+
+    def test_shipped_warehouse_package_is_clean(self):
+        warehouse_dir = REPO / "src" / "repro" / "warehouse"
+        violations = []
+        for path in sorted(warehouse_dir.rglob("*.py")):
+            violations.extend(lint_rules.lint_file(path))
+        assert violations == []
+
+    def test_line_numbers_reported(self, tmp_path):
+        violations = lint_source(
+            tmp_path,
+            "def go(table, txn, row):\n\n    table.delete(txn, row)\n",
+            name=self.OUTSIDER,
+        )
+        assert ":3:" in violations[0]
+
+
 class TestCommandLine:
     def run_cli(self, *args):
         return subprocess.run(

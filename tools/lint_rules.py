@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Project-specific AST lint rules for the ``repro`` package.
 
-Five disciplines the standard linters cannot express:
+Six disciplines the standard linters cannot express:
 
 **REPRO001 — virtual-clock discipline.**  All timing inside ``src/repro``
 is deterministic virtual time (:mod:`repro.clock`); wall-clock reads and
@@ -46,6 +46,19 @@ observability context (``ambient_metrics()`` / ``ambient_tracer()`` /
 disagree with the samples it stores — the recorder's byte-identical
 replay guarantee only holds when every timestamp flows in through the
 sampling seam.
+
+**REPRO006 — warehouse mutations go through the integrators.**  The
+schedule certifier proves an apply order serializable *before* it runs
+and the interference sanitizer audits it afterwards — but only for
+mutations that flow through the certified commit paths.  A direct
+``.insert(...)`` / ``.update(...)`` / ``.delete(...)`` /
+``.execute_statement(...)`` call elsewhere under ``repro/warehouse/``
+mutates warehouse state behind the certificate's back, so those calls
+are banned outside the integrator commit paths and the view/aggregate
+maintenance plans (``opdelta_integrator.py``, ``value_integrator.py``,
+``views.py``, ``aggregates.py``).  Bulk initial loads are exempt when
+they say so explicitly: a call passing ``mode=...BULK_INTERNAL`` is
+seeding state before any delta exists, not applying one.
 
 Usage::
 
@@ -121,6 +134,24 @@ FLIGHT_BANNED_CALLS = frozenset(
     }
 )
 
+#: Path fragment marking the warehouse package (REPRO006).
+WAREHOUSE_PATH_FRAGMENT = "repro/warehouse/"
+
+#: Attribute-call methods that mutate warehouse state (REPRO006).
+MUTATION_METHODS = frozenset(
+    {"insert", "update", "delete", "execute_statement"}
+)
+
+#: Certified commit paths allowed to mutate warehouse state directly
+#: (path suffixes, ``/``-separated): the two integrators plus the
+#: view/aggregate maintenance plans they drive.
+MUTATION_EXEMPT_SUFFIXES = (
+    "warehouse/opdelta_integrator.py",
+    "warehouse/value_integrator.py",
+    "warehouse/views.py",
+    "warehouse/aggregates.py",
+)
+
 #: Registry methods whose first argument is a metric name.
 METRIC_METHODS = ("counter", "gauge", "histogram")
 
@@ -153,6 +184,17 @@ def dotted_name(node: ast.AST) -> str | None:
         parts.append(node.id)
         return ".".join(reversed(parts))
     return None
+
+
+def _is_bulk_internal(node: ast.Call) -> bool:
+    """Whether a call passes ``mode=<...>.BULK_INTERNAL`` explicitly."""
+    for keyword in node.keywords:
+        if keyword.arg != "mode":
+            continue
+        value = dotted_name(keyword.value)
+        if value is not None and value.rsplit(".", 1)[-1] == "BULK_INTERNAL":
+            return True
+    return False
 
 
 #: Exception names whose do-nothing handlers REPRO003 flags.
@@ -203,6 +245,9 @@ def lint_file(path: Path) -> list[str]:
     clock_exempt = normalized.endswith(CLOCK_EXEMPT_SUFFIXES)
     parse_exempt = normalized.endswith(PARSE_EXEMPT_SUFFIXES)
     flight_module = FLIGHT_PATH_FRAGMENT in normalized
+    mutation_banned = WAREHOUSE_PATH_FRAGMENT in normalized and not (
+        normalized.endswith(MUTATION_EXEMPT_SUFFIXES)
+    )
 
     for node in ast.walk(tree):
         if isinstance(node, ast.ExceptHandler):
@@ -228,6 +273,19 @@ def lint_file(path: Path) -> list[str]:
                 f"call {method}(); time reaches repro/obs/flight/ only as "
                 "data (at_ms arguments, span timestamps) — inject the "
                 "clock reading at the sampling seam instead"
+            )
+        if (
+            mutation_banned
+            and "." in name
+            and method in MUTATION_METHODS
+            and not _is_bulk_internal(node)
+        ):
+            violations.append(
+                f"{path}:{node.lineno}: REPRO006 direct .{method}() call "
+                "mutates warehouse state outside the certified integrator "
+                "commit paths; route the change through OpDeltaIntegrator/"
+                "ValueDeltaIntegrator (or pass mode=...BULK_INTERNAL for a "
+                "pre-delta bulk load)"
             )
         if not parse_exempt and method == "parse":
             for arg in [*node.args, *(kw.value for kw in node.keywords)]:
