@@ -1,0 +1,17 @@
+"""Extension — delta-rule verifier: small-scope proofs, pay-once cache."""
+
+from repro.bench.experiments import verify_plans
+
+
+def test_verify_plans(run_experiment):
+    result = run_experiment(verify_plans.run)
+    # The in-experiment shape checks assert every seed plan VERIFIED,
+    # byte-identical repeats, integration parity, and the full drill
+    # cycle (RULE001 + replay + integrator refusal); on top of that the
+    # cache economics must hold: the first pass pays, the second is free.
+    first_ms, cached_ms = result.series["certify_virtual_ms"]
+    assert first_ms > 0.0
+    assert cached_ms == 0.0
+    misses, hits = result.series["certificate_fetches"]
+    assert misses == hits == result.parameters["plans"]
+    assert result.series["preflight_virtual_ms"] == [0.0, 0.0]

@@ -18,6 +18,11 @@ analyzer could not prove it):
   run?*  Static serializability certification of proposed lane
   assignments plus a vector-clock interference sanitizer that
   cross-checks the verdict at runtime.
+* :mod:`~repro.analysis.verify` — *are the compiled delta rules
+  actually equivalent to recomputation?*  Small-scope bounded model
+  checking of each maintenance plan, producing cached
+  :class:`~repro.analysis.verify.PlanCertificate` objects the
+  integrator requires as a pre-flight.
 
 :class:`OpDeltaAnalyzer` is the facade the capture hook, transport layer
 and integrator share.
@@ -50,6 +55,14 @@ from .rwsets import (
     extract_footprint,
     range_from_insert,
     range_from_predicate,
+)
+from .verify import (
+    CertificateCache,
+    Counterexample,
+    DeltaRuleVerifier,
+    PlanCertificate,
+    ScopeConfig,
+    VerifyFinding,
 )
 from .safety import (
     Determinism,
@@ -99,4 +112,10 @@ __all__ = [
     "is_idempotent",
     "self_accumulation",
     "statement_determinism",
+    "CertificateCache",
+    "Counterexample",
+    "DeltaRuleVerifier",
+    "PlanCertificate",
+    "ScopeConfig",
+    "VerifyFinding",
 ]

@@ -1,0 +1,81 @@
+"""Delta-rule verification: small-scope equivalence proofs for plans.
+
+The :class:`DeltaRuleVerifier` independently re-proves what the
+:class:`~repro.semantics.planner.ViewMaintenancePlanner` merely claims:
+that applying each compiled per-OpKind delta rule to a materialised view
+lands on exactly the state recomputation from the mutated base would.
+The proof is bounded (the small-scope hypothesis: enumerate every
+micro-database over the predicate's boundary values, NULLs, duplicate
+keys and empty groups up to :class:`ScopeConfig` limits), the oracle is
+the SQL executor (independent of the view's incremental machinery), and
+the outcome is a cached :class:`PlanCertificate` the integrator demands
+before it will drive a plan.
+
+Findings carry stable codes RULE001..RULE005 — see
+:mod:`~repro.analysis.verify.findings` and docs/semantic-analysis.md.
+"""
+
+from .certificate import (
+    DEFAULT_CERTIFICATE_CACHE,
+    REFUTED,
+    VERIFIED,
+    CertificateCache,
+    PlanCertificate,
+    schema_fingerprint,
+    verdict_for,
+    view_sql,
+    view_sql_hash,
+)
+from .domain import (
+    MicroOp,
+    Scope,
+    ScopeConfig,
+    ViewShape,
+    aggregate_shape,
+    column_domain,
+    enumerate_scope,
+    spj_shape,
+)
+from .findings import (
+    ERROR_CODES,
+    RULE_AGG_RETRACT,
+    RULE_DIVERGENCE,
+    RULE_NOT_IDEMPOTENT,
+    RULE_READS_BASE,
+    RULE_SOURCE_UNUSED,
+    Counterexample,
+    VerifyFinding,
+    refuting,
+)
+from .verifier import VERIFIER_VERSION, DeltaRuleVerifier
+
+__all__ = [
+    "DEFAULT_CERTIFICATE_CACHE",
+    "REFUTED",
+    "VERIFIED",
+    "CertificateCache",
+    "PlanCertificate",
+    "schema_fingerprint",
+    "verdict_for",
+    "view_sql",
+    "view_sql_hash",
+    "MicroOp",
+    "Scope",
+    "ScopeConfig",
+    "ViewShape",
+    "aggregate_shape",
+    "column_domain",
+    "enumerate_scope",
+    "spj_shape",
+    "ERROR_CODES",
+    "RULE_AGG_RETRACT",
+    "RULE_DIVERGENCE",
+    "RULE_NOT_IDEMPOTENT",
+    "RULE_READS_BASE",
+    "RULE_SOURCE_UNUSED",
+    "Counterexample",
+    "VerifyFinding",
+    "refuting",
+    "VERIFIER_VERSION",
+    "DeltaRuleVerifier",
+]

@@ -65,11 +65,21 @@ def main(argv: list[str] | None = None) -> int:
         "overhead",
     )
     parser.add_argument(
+        "--verify-plans",
+        action="store_true",
+        help="run the delta-rule verification pass instead of experiments: "
+        "model-check every compiled view-maintenance plan in the seed "
+        "catalog over exhaustive small-scope micro-databases, prove the "
+        "certificate cache is pay-once, and drive a captured workload "
+        "through the integrator's certificate-gated pre-flight",
+    )
+    parser.add_argument(
         "--fault",
-        choices=["drop-queue-message", "swap-lane-ops"],
+        choices=["drop-queue-message", "swap-lane-ops", "corrupt-delta-rule"],
         help="seed this fault into the flagship pass (drop-queue-message "
-        "with --health, swap-lane-ops with --certify); the exit code then "
-        "reports whether the fault was detected",
+        "with --health, swap-lane-ops with --certify, corrupt-delta-rule "
+        "with --verify-plans); the exit code then reports whether the "
+        "fault was detected",
     )
     parser.add_argument(
         "--flight",
@@ -127,6 +137,7 @@ def main(argv: list[str] | None = None) -> int:
             (args.health, "--health"),
             (args.flight, "--flight"),
             (args.certify, "--certify"),
+            (args.verify_plans, "--verify-plans"),
         )
         if enabled
     ]
@@ -139,6 +150,30 @@ def main(argv: list[str] | None = None) -> int:
     if args.fault == "swap-lane-ops" and not args.certify:
         print("--fault swap-lane-ops requires --certify", file=sys.stderr)
         return 2
+    if args.fault == "corrupt-delta-rule" and not args.verify_plans:
+        print(
+            "--fault corrupt-delta-rule requires --verify-plans",
+            file=sys.stderr,
+        )
+        return 2
+
+    if args.verify_plans:
+        from .report import render_verify
+        from .verify import run_verify
+
+        verify = run_verify(fault=args.fault)
+        destination = sys.stderr if args.json == "-" else sys.stdout
+        print(render_verify(verify), file=destination)
+        if args.json is not None:
+            try:
+                _write(args.json, verify.to_dict())
+            except OSError as exc:
+                print(
+                    f"repro-bench: cannot write {exc.filename}: {exc.strerror}",
+                    file=sys.stderr,
+                )
+                return 1
+        return verify.exit_code
 
     if args.certify:
         from .certify import run_certify

@@ -31,6 +31,7 @@ from . import (
     table3,
     table4,
     timestamp_index,
+    verify_plans,
 )
 
 #: experiment id -> zero-argument default runner.
@@ -56,6 +57,7 @@ REGISTRY: dict[str, Callable[[], ExperimentResult]] = {
     "compaction": compaction.run,
     "certify": certify.run,
     "flight": flight.run,
+    "verify_plans": verify_plans.run,
 }
 
 __all__ = ["REGISTRY"] + list(REGISTRY)

@@ -18,6 +18,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from .certify import CertifyReport
     from .flight import FlightReport
     from .health import HealthReport
+    from .verify import VerifyReport
 
 
 @dataclass
@@ -565,6 +566,107 @@ def render_certify(report: "CertifyReport") -> str:
                 if report.drill["integrator_rejected"]
                 else "RAN IT (fault missed)"
             )
+        )
+    return "\n".join(out)
+
+
+def render_verify(report: "VerifyReport") -> str:
+    """Render one plan-verification pass (``repro-bench --verify-plans``).
+
+    The per-view verdict grid, the pay-once cache proof, the
+    certificate-gated integration's parity verdicts and — for the
+    corruption drill — the verifier's concrete counterexample.
+    """
+    out = ["== delta-rule verification =="]
+    if report.fault is not None:
+        status = "DETECTED" if report.fault_detected else "MISSED"
+        out.append(f"seeded fault: {report.fault} -> {status}")
+    out.append(f"verdict: {report.verdict} ({len(report.plans)} plans)")
+    grid = [
+        ["view", "class", "verdict", "scenarios", "dbs", "warn", "err"]
+    ]
+    for name, plan in report.plans.items():
+        grid.append(
+            [
+                name,
+                plan["classification"],
+                plan["verdict"],
+                f"{plan['scenarios']:,}",
+                str(plan["databases"]),
+                str(len(plan["warnings"])),
+                str(len(plan["errors"])),
+            ]
+        )
+    out.append(_indent(_render_grid(grid)))
+    for name, plan in report.plans.items():
+        for finding in [*plan["errors"], *plan["warnings"]]:
+            out.append(f"  {finding['code']} [{finding['severity']}] {name}"
+                       f" [{finding['kind']}]: {finding['message']}")
+    if report.cache:
+        cache = report.cache
+        out.append(
+            "certificate cache: "
+            f"first pass {format_duration(cache['first_pass_virtual_ms'])} "
+            f"({cache['first_pass_misses']} misses), second pass "
+            f"{format_duration(cache['second_pass_virtual_ms'])} "
+            f"({cache['second_pass_hits']} hits) -> "
+            + ("pay-once" if cache["pay_once"] else "RE-VERIFIED (cache miss)")
+        )
+    if report.integration:
+        integration = report.integration
+        out.append(
+            "integration pre-flight: "
+            f"{integration['preflight_cache_hits']} cached certificates in "
+            f"{format_duration(integration['preflight_virtual_ms'])}; "
+            f"{integration['transactions']} txns applied with "
+            f"{integration['plan_rules_applied']} plan rules in "
+            f"{format_duration(integration['apply_virtual_ms'])}"
+        )
+        out.append(
+            "state parity: "
+            + (
+                "views, aggregate and mirror all match recomputation"
+                if integration["parity"]
+                else "DIVERGED "
+                + str(
+                    {
+                        k: integration[k]
+                        for k in (
+                            "view_parity",
+                            "aggregate_parity",
+                            "mirror_parity",
+                        )
+                    }
+                )
+            )
+        )
+    if report.drill is not None:
+        out.append("")
+        out.append("corruption drill (corrupt-delta-rule):")
+        out.append(
+            f"  verifier: {report.drill['verdict']} "
+            f"({', '.join(report.drill['error_codes']) or 'no findings'}; "
+            "counterexample "
+            + (
+                "replays divergent"
+                if report.drill["counterexample_replays"]
+                else "MISSING OR SPURIOUS"
+            )
+            + ")"
+        )
+        if report.drill["counterexample"]:
+            out.append(_indent(report.drill["counterexample"], "    "))
+        out.append(
+            "  integrator pre-flight: "
+            + (
+                "REFUSED to drive the corrupted view"
+                if report.drill["integrator_rejected"]
+                else "DROVE IT (fault missed)"
+            )
+        )
+        out.append(
+            "  control: clean verifier says "
+            + report.drill["clean_verifier_verdict"]
         )
     return "\n".join(out)
 

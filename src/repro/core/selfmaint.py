@@ -101,7 +101,14 @@ class ViewDefinition:
 
 def classify_operation(view: ViewDefinition, op: OpDelta) -> Maintainability:
     """Per-statement analysis: what does *this* operation need for *this* view?"""
-    if view.join is not None and not view.join.available_at_warehouse:
+    if (
+        view.join is not None
+        and view.join.columns
+        and not view.join.available_at_warehouse
+    ):
+        # Only joins that actually project dimension attributes force a
+        # source query; a bare key-consistency join with no projected
+        # columns never needs the dimension table at integration time.
         return Maintainability.NOT_SELF_MAINTAINABLE
     if op.kind is OpKind.INSERT:
         return Maintainability.OP_ONLY
@@ -109,7 +116,14 @@ def classify_operation(view: ViewDefinition, op: OpDelta) -> Maintainability:
     where_columns = referenced_columns(where) if where is not None else set()
     projected = set(view.columns)
     if op.kind is OpKind.DELETE:
-        if view.key_projected and where_columns <= projected:
+        # The rewrite-onto-the-view path evaluates both the statement's
+        # WHERE and the view's own selection predicate against view rows,
+        # so the predicate columns must be projected too.
+        if (
+            view.key_projected
+            and where_columns <= projected
+            and view.predicate_columns() <= projected
+        ):
             return Maintainability.OP_ONLY
         return Maintainability.NEEDS_BEFORE_IMAGE
     # UPDATE
@@ -120,15 +134,21 @@ def classify_operation(view: ViewDefinition, op: OpDelta) -> Maintainability:
     for assignment in assignments:
         assignment_inputs |= referenced_columns(assignment.expr)
     membership_affected = bool(assigned & view.predicate_columns())
-    if view.join is not None and view.join.left_column in assigned:
+    if (
+        view.join is not None
+        and view.join.columns
+        and view.join.left_column in assigned
+    ):
         # Reassigning the join key invalidates the materialised dimension
         # attributes; re-projection (which needs the before image) is
-        # required.
+        # required.  A join projecting no dimension columns materialises
+        # nothing that could go stale.
         membership_affected = True
     everything_visible = (
         where_columns <= projected
         and assigned <= projected
         and assignment_inputs <= projected
+        and view.predicate_columns() <= projected
     )
     if everything_visible and not membership_affected:
         return Maintainability.OP_ONLY
@@ -141,7 +161,11 @@ def classify_static(view: ViewDefinition, kind: OpKind) -> Maintainability:
     This is what the hybrid capture policy evaluates when deciding whether
     to fetch before images for a table's updates/deletes.
     """
-    if view.join is not None and not view.join.available_at_warehouse:
+    if (
+        view.join is not None
+        and view.join.columns
+        and not view.join.available_at_warehouse
+    ):
         return Maintainability.NOT_SELF_MAINTAINABLE
     if kind is OpKind.INSERT:
         return Maintainability.OP_ONLY

@@ -63,6 +63,18 @@ class OpDeltaIntegrator:
     statement; plans that declare a view not self-maintainable are rejected
     at construction — attach such views to a source-query refresh path
     instead of this integrator.
+
+    Supplied plans are additionally put through the delta-rule verifier
+    (:class:`~repro.analysis.verify.DeltaRuleVerifier`) as a pre-flight:
+    a plan whose certificate comes back ``REFUTED`` raises
+    :class:`~repro.errors.WarehouseError` with the counterexample, so an
+    unsound rule can never silently corrupt a view.  Certificates are
+    cached process-wide by (view SQL hash, schema fingerprint) — the
+    proof is pay-once — and stamped onto every
+    :class:`~repro.warehouse.value_integrator.IntegrationReport` this
+    integrator produces.  ``verify=False`` opts out (fixture replay,
+    deliberately broken plans under test); ``verifier=`` supplies a
+    configured verifier (scope bounds, a private cache, a metered clock).
     """
 
     def __init__(
@@ -75,6 +87,8 @@ class OpDeltaIntegrator:
         aggregate_views: Sequence[MaterializedAggregateView] = (),
         plans: Mapping[str, MaintenancePlan] | None = None,
         sanitizer: InterferenceSanitizer | None = None,
+        verifier: object | None = None,
+        verify: bool = True,
     ) -> None:
         self._session = session
         self._sanitizer = sanitizer
@@ -110,6 +124,42 @@ class OpDeltaIntegrator:
                     f"{plan.classification.value}; it cannot be maintained by "
                     "the op-delta integrator"
                 )
+        #: view name -> certificate stamp, copied onto every report.
+        self._plan_certificates: dict[str, str] = {}
+        if verify and self._plans:
+            self._verify_plans(verifier)
+
+    def _verify_plans(self, verifier: object | None) -> None:
+        """Pre-flight: demand a VERIFIED certificate for every plan used.
+
+        Imported lazily — the verifier constructs the warehouse view
+        classes, which this module defines the integrator around.
+        """
+        from ..analysis.verify import DeltaRuleVerifier
+
+        if verifier is None:
+            verifier = DeltaRuleVerifier()
+        assert isinstance(verifier, DeltaRuleVerifier)
+        database = self._session.database
+        for view in [*self._views, *self._aggregate_views]:
+            plan = self._plans.get(view.definition.name)
+            if plan is None:
+                continue
+            definition = view.definition
+            dim_schema = None
+            join = getattr(definition, "join", None)
+            if join is not None and join.columns and database.has_table(join.table):
+                dim_schema = database.table(join.table).schema
+            certificate = verifier.certify_plan(
+                plan, definition, view.base_schema, dim_schema=dim_schema
+            )
+            self._plan_certificates[definition.name] = certificate.stamp
+            if not certificate.verified:
+                raise WarehouseError(
+                    f"maintenance plan for view {definition.name!r} was "
+                    "refuted by the delta-rule verifier; refusing to drive "
+                    "the view with an unsound rule:\n" + certificate.render()
+                )
 
     def integrate(
         self,
@@ -129,6 +179,7 @@ class OpDeltaIntegrator:
         """
         groups = list(groups)
         report = IntegrationReport(mode="op-delta")
+        report.plan_certificates = dict(self._plan_certificates)
         clock = self._session.database.clock
         started = clock.now
         if certify and self._analyzer is not None and groups:
@@ -196,6 +247,7 @@ class OpDeltaIntegrator:
         groups = list(groups)
         if report is None:
             report = IntegrationReport(mode="op-delta-batched")
+        report.plan_certificates = dict(self._plan_certificates)
         clock = self._session.database.clock
         started = clock.now
         if not groups:

@@ -71,6 +71,10 @@ class IntegrationReport:
     #: Rendered ``RACE*`` findings from a rejected certification, kept on
     #: the report for post-mortem inspection (rejection also raises).
     race_findings: list[str] = field(default_factory=list)
+    #: Delta-rule verification stamps (view name -> "hash12:VERDICT")
+    #: copied from the op-delta integrator's plan pre-flight; empty when
+    #: no plans were supplied or verification was opted out.
+    plan_certificates: dict[str, str] = field(default_factory=dict)
 
     @property
     def mean_transaction_ms(self) -> float:

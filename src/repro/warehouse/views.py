@@ -24,7 +24,7 @@ from ..core.selfmaint import Maintainability, ViewDefinition, classify_operation
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..semantics.planner import DeltaRule
 from ..engine.database import Database
-from ..engine.schema import TableSchema
+from ..engine.schema import Column, TableSchema
 from ..engine.table import InsertMode, Table
 from ..engine.transactions import Transaction
 from ..errors import WarehouseError
@@ -66,7 +66,9 @@ class MaterializedView:
 
         columns = [base_schema.column(name) for name in definition.columns]
         join = definition.join
-        if join is not None:
+        if join is not None and join.columns:
+            # A join projecting no dimension columns needs no local copy:
+            # there is nothing to look up at maintenance time.
             if not warehouse_db.has_table(join.table):
                 raise WarehouseError(
                     f"view {definition.name!r} joins {join.table!r}, which is "
@@ -74,7 +76,12 @@ class MaterializedView:
                 )
             dim_schema = warehouse_db.table(join.table).schema
             for name in join.columns:
-                columns.append(dim_schema.column(name))
+                # Dimension columns are nullable in the view even when NOT
+                # NULL at the dimension: a fact row whose join key has no
+                # mirrored dimension row materialises NULL (found by the
+                # delta-rule verifier's unmatched-key micro-databases).
+                column = dim_schema.column(name)
+                columns.append(Column(column.name, column.datatype, nullable=True))
         storage_key = (
             self._key if self._key in definition.columns else None
         )
@@ -273,7 +280,7 @@ class MaterializedView:
         env: Mapping[str, Any] = dict(zip(self._base_columns, row))
         projected = [env[name] for name in self.definition.columns]
         join = self.definition.join
-        if join is not None:
+        if join is not None and join.columns:
             dim_values = self._dim_lookup(env[join.left_column])
             for name in join.columns:
                 dim_schema = self._db.table(join.table).schema

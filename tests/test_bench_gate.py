@@ -159,13 +159,33 @@ class TestGate:
 class TestCommittedBaselines:
     """The real artifacts must gate clean against the committed baselines."""
 
-    def test_baselines_exist_for_ci_gated_artifacts(self):
-        for name in (
+    def test_registry_pins_the_ci_artifact_set(self):
+        assert bench_gate.GATED_ARTIFACTS == (
             "BENCH_compaction.json",
             "BENCH_health.json",
             "BENCH_flight.json",
-        ):
+            "BENCH_certify.json",
+            "BENCH_verify_plans.json",
+        )
+
+    def test_baselines_exist_for_ci_gated_artifacts(self):
+        for name in bench_gate.GATED_ARTIFACTS:
             assert (REPO / "benchmarks" / "baselines" / name).exists(), name
+
+    def test_no_arguments_gates_the_registered_set(self, tmp_path, capsys):
+        # Missing artifacts are a usage error, so gating the registry
+        # from an empty directory names every registered file.
+        import os
+
+        cwd = os.getcwd()
+        os.chdir(tmp_path)
+        try:
+            assert bench_gate.main([]) == 2
+        finally:
+            os.chdir(cwd)
+        err = capsys.readouterr().err
+        for name in bench_gate.GATED_ARTIFACTS:
+            assert name in err
 
     def test_flight_artifact_matches_committed_baseline(self, tmp_path):
         from repro.bench.flight import run_flight

@@ -78,20 +78,48 @@ class TestPerStatementAnalysis:
         assert result is Maintainability.NEEDS_BEFORE_IMAGE
 
     def test_update_assigning_join_key_needs_before(self):
-        spec = JoinSpec("suppliers", "part_ref", "supplier_id")
+        spec = JoinSpec(
+            "suppliers", "part_ref", "supplier_id", columns=("supplier_name",)
+        )
         v = view(join=spec)
         result = classify_operation(
             v, op("UPDATE parts SET part_ref = 1 WHERE part_id = 1")
         )
         assert result is Maintainability.NEEDS_BEFORE_IMAGE
 
+    def test_update_assigning_columnless_join_key_op_only(self):
+        # A join that projects no dimension attributes materialises
+        # nothing that can go stale; reassigning its key is an ordinary
+        # visible update (pinned by the delta-rule verifier: the old
+        # conservative answer forced before images nothing consumed).
+        spec = JoinSpec("suppliers", "part_ref", "supplier_id")
+        v = view(join=spec)
+        result = classify_operation(
+            v, op("UPDATE parts SET part_ref = 1 WHERE part_id = 1")
+        )
+        assert result is Maintainability.OP_ONLY
+
     def test_unavailable_join_not_maintainable(self):
+        spec = JoinSpec(
+            "suppliers",
+            "part_ref",
+            "supplier_id",
+            columns=("supplier_name",),
+            available_at_warehouse=False,
+        )
+        v = view(join=spec)
+        result = classify_operation(v, op("DELETE FROM parts WHERE part_id = 1"))
+        assert result is Maintainability.NOT_SELF_MAINTAINABLE
+
+    def test_unavailable_columnless_join_still_maintainable(self):
+        # No projected dimension columns means maintenance never consults
+        # the joined table, so its absence at the warehouse is irrelevant.
         spec = JoinSpec(
             "suppliers", "part_ref", "supplier_id", available_at_warehouse=False
         )
         v = view(join=spec)
         result = classify_operation(v, op("DELETE FROM parts WHERE part_id = 1"))
-        assert result is Maintainability.NOT_SELF_MAINTAINABLE
+        assert result is Maintainability.OP_ONLY
 
 
 class TestStaticAnalysis:
@@ -142,7 +170,11 @@ class TestHybridPolicies:
 
     def test_unmaintainable_view_raises(self):
         spec = JoinSpec(
-            "suppliers", "part_ref", "supplier_id", available_at_warehouse=False
+            "suppliers",
+            "part_ref",
+            "supplier_id",
+            columns=("supplier_name",),
+            available_at_warehouse=False,
         )
         policy = ViewAwareHybridPolicy([view(join=spec)])
         with pytest.raises(SelfMaintenanceError):

@@ -382,6 +382,79 @@ class TestRepro006WarehouseMutations:
         assert ":3:" in violations[0]
 
 
+class TestRepro007DeltaRuleProvenance:
+    def test_delta_rule_construction_flagged(self, tmp_path):
+        violations = lint_source(
+            tmp_path,
+            "from repro.semantics.planner import DeltaRule\n"
+            "rule = DeltaRule(kind, action)\n",
+        )
+        assert len(violations) == 1
+        assert "REPRO007" in violations[0]
+        assert "DeltaRule" in violations[0]
+
+    def test_qualified_construction_flagged(self, tmp_path):
+        violations = lint_source(
+            tmp_path,
+            "import repro.semantics.planner as planner\n"
+            "rule = planner.DeltaRule(kind, action)\n",
+        )
+        assert any("REPRO007" in v for v in violations)
+
+    def test_rules_assignment_flagged(self, tmp_path):
+        violations = lint_source(
+            tmp_path, "def patch(plan, mapping):\n    plan.rules = mapping\n"
+        )
+        assert any("REPRO007" in v and ".rules" in v for v in violations)
+
+    def test_rules_augmented_assignment_flagged(self, tmp_path):
+        violations = lint_source(
+            tmp_path, "def patch(plan, extra):\n    plan.rules |= extra\n"
+        )
+        assert any("REPRO007" in v for v in violations)
+
+    def test_frozen_setattr_backdoor_flagged(self, tmp_path):
+        violations = lint_source(
+            tmp_path,
+            "def patch(plan, mapping):\n"
+            "    object.__setattr__(plan, 'rules', mapping)\n",
+        )
+        assert any("REPRO007" in v for v in violations)
+
+    def test_planner_module_is_exempt(self, tmp_path):
+        source = "rule = DeltaRule(kind, action)\nplan.rules = mapping\n"
+        assert (
+            lint_source(tmp_path, source, name="repro/semantics/planner.py")
+            == []
+        )
+
+    def test_verifier_fixtures_are_exempt(self, tmp_path):
+        source = "rule = DeltaRule(kind, action)\nplan.rules = mapping\n"
+        for name in ("test_analysis_verify.py", "test_verify_regressions.py"):
+            assert lint_source(tmp_path, source, name=name) == [], name
+
+    def test_other_assignments_allowed(self, tmp_path):
+        violations = lint_source(
+            tmp_path,
+            "def go(plan, obj):\n"
+            "    plan.diagnostics = ()\n"
+            "    setattr(obj, 'rules_of_thumb', 1)\n"
+            "    rules = {}\n",
+        )
+        assert violations == []
+
+    def test_shipped_semantics_package_is_clean(self):
+        package = REPO / "src" / "repro" / "semantics"
+        for path in sorted(package.rglob("*.py")):
+            assert lint_rules.lint_file(path) == [], path
+
+    def test_line_numbers_reported(self, tmp_path):
+        violations = lint_source(
+            tmp_path, "\n\nrule = DeltaRule(kind, action)\n"
+        )
+        assert ":3:" in violations[0]
+
+
 class TestCommandLine:
     def run_cli(self, *args):
         return subprocess.run(

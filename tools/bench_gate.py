@@ -15,6 +15,7 @@ file fails with the command that creates it.
 
 Usage::
 
+    python tools/bench_gate.py                         # the registered set
     python tools/bench_gate.py BENCH_compaction.json BENCH_health.json
     python tools/bench_gate.py --update BENCH_*.json   # rewrite baselines
     python tools/bench_gate.py --tolerance 0.05 BENCH_flight.json
@@ -38,6 +39,18 @@ BASELINE_DIR = Path("benchmarks/baselines")
 
 #: Leaf-key names gated even without an ``_ms``/``_ns`` suffix.
 TIME_KEYS = frozenset({"elapsed", "duration", "apply_span"})
+
+#: Every CI-gated artifact, in bench-smoke production order.  Running
+#: the gate with no arguments gates exactly this set; adding a new
+#: ``repro-bench --json`` artifact means registering it here *and*
+#: committing its baseline under :data:`BASELINE_DIR`.
+GATED_ARTIFACTS = (
+    "BENCH_compaction.json",
+    "BENCH_health.json",
+    "BENCH_flight.json",
+    "BENCH_certify.json",
+    "BENCH_verify_plans.json",
+)
 
 
 def is_time_leaf(path: str) -> bool:
@@ -96,9 +109,10 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "artifacts",
-        nargs="+",
+        nargs="*",
         type=Path,
-        help="BENCH_*.json artifacts to gate against their baselines",
+        help="BENCH_*.json artifacts to gate against their baselines "
+        "(default: the registered set)",
     )
     parser.add_argument(
         "--baseline-dir",
@@ -119,6 +133,8 @@ def main(argv: list[str] | None = None) -> int:
         help="copy the given artifacts over their baselines instead of gating",
     )
     args = parser.parse_args(argv)
+    if not args.artifacts:
+        args.artifacts = [Path(name) for name in GATED_ARTIFACTS]
     if args.tolerance < 0:
         print("bench_gate: tolerance must be >= 0", file=sys.stderr)
         return 2

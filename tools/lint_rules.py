@@ -60,6 +60,18 @@ maintenance plans (``opdelta_integrator.py``, ``value_integrator.py``,
 they say so explicitly: a call passing ``mode=...BULK_INTERNAL`` is
 seeding state before any delta exists, not applying one.
 
+**REPRO007 — delta rules come from the planner.**  The delta-rule
+verifier's certificates are keyed by the *compiled plan*: a
+``DeltaRule`` constructed by hand, or a plan whose ``rules`` mapping is
+reassigned after compilation, is a rule no certificate has ever
+model-checked — exactly the silent-corruption vector the verifier
+exists to close.  ``DeltaRule(...)`` construction and assignments to a
+``.rules`` attribute (including ``object.__setattr__(plan, "rules",
+...)`` on the frozen dataclass) are banned everywhere except
+``repro/semantics/planner.py`` (the one compiler) and verifier test
+fixtures (files with ``verify`` in their name, which deliberately build
+broken rules for the verifier to refute).
+
 Usage::
 
     python tools/lint_rules.py            # lint src/repro
@@ -151,6 +163,9 @@ MUTATION_EXEMPT_SUFFIXES = (
     "warehouse/views.py",
     "warehouse/aggregates.py",
 )
+
+#: The one module allowed to construct delta rules (REPRO007).
+DELTA_RULE_EXEMPT_SUFFIXES = ("semantics/planner.py",)
 
 #: Registry methods whose first argument is a metric name.
 METRIC_METHODS = ("counter", "gauge", "histogram")
@@ -248,12 +263,28 @@ def lint_file(path: Path) -> list[str]:
     mutation_banned = WAREHOUSE_PATH_FRAGMENT in normalized and not (
         normalized.endswith(MUTATION_EXEMPT_SUFFIXES)
     )
+    rule_exempt = normalized.endswith(DELTA_RULE_EXEMPT_SUFFIXES) or (
+        "verify" in path.name
+    )
 
     for node in ast.walk(tree):
         if isinstance(node, ast.ExceptHandler):
             violation = _check_handler(path, node)
             if violation is not None:
                 violations.append(violation)
+            continue
+        if not rule_exempt and isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                if isinstance(target, ast.Attribute) and target.attr == "rules":
+                    violations.append(
+                        f"{path}:{node.lineno}: REPRO007 assigning to "
+                        "'.rules' swaps in delta rules no certificate has "
+                        "model-checked; compile plans through "
+                        "repro.semantics.planner.ViewMaintenancePlanner"
+                    )
             continue
         if not isinstance(node, ast.Call):
             continue
@@ -267,6 +298,25 @@ def lint_file(path: Path) -> list[str]:
                 "seeded random.Random instance"
             )
         method = name.rsplit(".", 1)[-1]
+        if not rule_exempt and method == "DeltaRule":
+            violations.append(
+                f"{path}:{node.lineno}: REPRO007 hand-constructed "
+                "DeltaRule bypasses the verifier's certificates; only "
+                "repro/semantics/planner.py (and verifier test fixtures) "
+                "may build delta rules"
+            )
+        if (
+            not rule_exempt
+            and method == "__setattr__"
+            and len(node.args) >= 2
+            and isinstance(node.args[1], ast.Constant)
+            and node.args[1].value == "rules"
+        ):
+            violations.append(
+                f"{path}:{node.lineno}: REPRO007 __setattr__(..., 'rules') "
+                "mutates a frozen plan's delta rules behind the verifier's "
+                "back; compile a fresh plan through the planner instead"
+            )
         if flight_module and method in FLIGHT_BANNED_CALLS:
             violations.append(
                 f"{path}:{node.lineno}: REPRO005 flight modules may not "
