@@ -71,6 +71,7 @@ from .safety import (
     conjuncts_imply,
     expression_determinism,
     is_idempotent,
+    op_footprint,
     pin_time_functions,
     predicates_disjoint,
     self_accumulation,
@@ -89,6 +90,7 @@ __all__ = [
     "lpt_schedule",
     "plant_lane_swap",
     "single_lane_schedule",
+    "op_footprint",
     "pin_time_functions",
     "ConflictGraph",
     "build_conflict_graph",

@@ -32,11 +32,11 @@ from ...core.opdelta import OpDelta, OpDeltaTransaction
 from ...obs.context import ambient_metrics
 from ...obs.metrics import NULL_REGISTRY, MetricsLike
 from ..conflict import ConflictGraph
-from ..rwsets import StatementFootprint, extract_footprint
+from ..rwsets import StatementFootprint
 from ..safety import (
     Determinism,
     commutes,
-    pin_time_functions,
+    op_footprint,
     statement_determinism,
 )
 from .schedule import LaneSchedule
@@ -177,8 +177,10 @@ class ScheduleCertifier:
         return ambient_metrics() or NULL_REGISTRY
 
     def _footprint(self, op: OpDelta) -> StatementFootprint:
-        pinned = pin_time_functions(op.statement, op.captured_at)
-        return extract_footprint(pinned, self._table_columns)
+        # Shared replay-form footprint (pinned time, image-replay flag):
+        # the certifier must judge reordering on the same model the
+        # conflict graph was built with.
+        return op_footprint(op, self._table_columns)
 
     def _commutes(self, a: StatementFootprint, b: StatementFootprint) -> bool:
         return commutes(

@@ -28,8 +28,8 @@ from typing import Mapping, Sequence
 
 from ...core.opdelta import OpDelta, OpDeltaTransaction
 from ...obs.pipeline.context import ambient_pipeline
-from ..rwsets import StatementFootprint, extract_footprint
-from ..safety import commutes, pin_time_functions
+from ..rwsets import StatementFootprint
+from ..safety import commutes, op_footprint
 from .certifier import RaceFinding, correlation_id
 from .schedule import LaneSchedule
 
@@ -156,8 +156,7 @@ class InterferenceSanitizer:
             lane = lane % self._lanes if self._lanes else 0
         clock = self._clocks[lane].tick(lane)
         self._clocks[lane] = clock
-        pinned = pin_time_functions(op.statement, op.captured_at)
-        footprint = extract_footprint(pinned, self._table_columns)
+        footprint = op_footprint(op, self._table_columns)
         access = _Access(
             lane=lane, clock=clock, op=op, footprint=footprint, at_ms=at_ms
         )

@@ -20,8 +20,8 @@ from typing import Mapping, Sequence
 from ..core.opdelta import OpDeltaTransaction
 from ..obs.context import ambient_metrics
 from ..obs.metrics import NULL_REGISTRY, MetricsLike
-from .rwsets import StatementFootprint, extract_footprint
-from .safety import commutes, pin_time_functions
+from .rwsets import StatementFootprint
+from .safety import commutes, op_footprint
 
 
 def transactions_conflict(
@@ -92,14 +92,11 @@ def build_conflict_graph(
     # integrator replays them with the capture timestamp substituted, so
     # their replay really is deterministic and reordering them is judged on
     # the pinned text.  Truly volatile statements stay volatile and
-    # therefore conflict with everything.
+    # therefore conflict with everything.  Ops captured with before images
+    # are marked for image replay, which restricts the commutativity
+    # proofs to disjoint-row-set arguments (see ``safety.op_footprint``).
     footprints = [
-        [
-            extract_footprint(
-                pin_time_functions(op.statement, op.captured_at), table_columns
-            )
-            for op in g.operations
-        ]
+        [op_footprint(op, table_columns) for op in g.operations]
         for g in groups
     ]
     txn_ids = tuple(g.txn_id for g in groups)

@@ -336,6 +336,13 @@ class StatementFootprint:
     row_range: PredicateRange | None
     #: The statement itself, for assignment-level analysis.
     statement: ast.Statement = field(repr=False, compare=False, hash=False)
+    #: Whether the captured op carries a before image (hybrid capture).
+    #: The warehouse replays such ops *from the image* on views that need
+    #: before images — delete-by-key plus a full-row reinsert — so only
+    #: commutativity proofs that establish **disjoint row sets** remain
+    #: sound; pointwise-assignment arguments do not survive image replay
+    #: (see :func:`repro.analysis.safety.commutes`).
+    image_replay: bool = False
 
     @property
     def assignments(self) -> tuple[ast.Assignment, ...]:

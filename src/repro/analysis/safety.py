@@ -34,13 +34,18 @@ assigns any column referenced by the contradicting conjunct pair.
 Passing ``structural=False`` recovers the original, more conservative
 prover — the certify bench experiment uses both to report the
 parallelism delta.
+
+Ops captured with **before images** (hybrid capture) are replayed from
+the image on views that need them, which is *not* plain statement
+replay: build their footprints with :func:`op_footprint` so ``commutes``
+knows to restrict itself to disjoint-row-set proofs.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import enum
-from typing import Any, Mapping
+from typing import TYPE_CHECKING, Any, Mapping, Sequence
 
 from ..sql import ast_nodes as ast
 from ..sql.expressions import (
@@ -48,7 +53,10 @@ from ..sql.expressions import (
     referenced_functions,
     split_conjuncts,
 )
-from .rwsets import StatementFootprint
+from .rwsets import StatementFootprint, extract_footprint
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.opdelta import OpDelta
 
 
 class Determinism(enum.Enum):
@@ -186,6 +194,29 @@ def pin_time_functions(
     return statement
 
 
+def op_footprint(
+    op: "OpDelta",
+    table_columns: Mapping[str, Sequence[str]] | None = None,
+) -> StatementFootprint:
+    """The footprint of a captured op, in its *replay* form.
+
+    Pins time functions to the capture timestamp (the integrator replays
+    the pinned text, so reordering is judged on what actually runs) and
+    marks ops that carry a before image as ``image_replay``: hybrid-view
+    maintenance replays those from the image rather than the statement,
+    which narrows the commutativity proofs :func:`commutes` may use.
+    Every consumer that reasons about reordering captured ops — the
+    conflict graph, the schedule certifier, the interference sanitizer —
+    must build footprints through this helper so they share one model.
+    """
+    footprint = extract_footprint(
+        pin_time_functions(op.statement, op.captured_at), table_columns
+    )
+    if op.before_image is not None:
+        footprint = dataclasses.replace(footprint, image_replay=True)
+    return footprint
+
+
 def is_idempotent(footprint: StatementFootprint) -> bool:
     """Whether applying the statement twice equals applying it once.
 
@@ -232,6 +263,17 @@ def commutes(
     is provably state-preserving.  ``structural=False`` disables the
     structural-disjointness widening (see the module docstring) and runs
     the original range-only prover.
+
+    **Image replay.**  When either footprint is marked ``image_replay``
+    (the captured op carries a before image — see
+    :func:`op_footprint`), hybrid-view maintenance replays that op from
+    the image: delete-by-key of the captured row plus a full-row
+    reinsert.  A full-row reinsert resurrects every column from the
+    image, so two writes to the *same* row no longer commute even when
+    their assigned columns are disjoint or their assignments commute
+    pointwise.  Only proofs that establish provably **disjoint row
+    sets** (range or structural disjointness, key-disjoint inserts)
+    survive; the pointwise-assignment arguments are disabled.
     """
     det_a = statement_determinism(a.statement)
     det_b = statement_determinism(b.statement)
@@ -241,6 +283,7 @@ def commutes(
         return False
     if a.table != b.table:
         return True
+    image_replay = a.image_replay or b.image_replay
 
     kind_a, kind_b = a.kind.name, b.kind.name
     if kind_a > kind_b:  # normalise pair order: DELETE < INSERT < UPDATE
@@ -248,11 +291,18 @@ def commutes(
         kind_a, kind_b = kind_b, kind_a
 
     if kind_a == "DELETE" and kind_b == "DELETE":
+        # Always safe, images included: a row deleted by one statement at
+        # the source cannot appear in the other's image, so the captured
+        # key sets are disjoint by construction.
         return True
     if kind_a == "UPDATE" and kind_b == "UPDATE":
-        return _updates_commute(a, b, structural=structural)
+        return _updates_commute(
+            a, b, structural=structural, image_replay=image_replay
+        )
     if kind_a == "DELETE" and kind_b == "UPDATE":
-        return _delete_update_commute(a, b, structural=structural)
+        return _delete_update_commute(
+            a, b, structural=structural, image_replay=image_replay
+        )
     pk = None if key_columns is None else key_columns.get(a.table)
     if kind_a == "INSERT" and kind_b == "INSERT":
         return _inserts_commute(a, b, pk)
@@ -294,7 +344,11 @@ def _cannot_move_into(
 
 
 def _updates_commute(
-    a: StatementFootprint, b: StatementFootprint, *, structural: bool = True
+    a: StatementFootprint,
+    b: StatementFootprint,
+    *,
+    structural: bool = True,
+    image_replay: bool = False,
 ) -> bool:
     # Case 1: provably disjoint row sets, and neither can move rows into
     # the other's range.
@@ -310,6 +364,11 @@ def _updates_commute(
     # match both predicates, in either order.
     if structural and _structurally_disjoint(a, b):
         return True
+    # Image replay admits no overlapping-row proof: each op's captured
+    # before image is a full row, and the hybrid view path reinserts it
+    # whole — the later-applied op resurrects the other's columns.
+    if image_replay:
+        return False
     # Case 2: possibly-overlapping rows, but the assignments themselves
     # commute pointwise.  Requires that neither WHERE clause references any
     # assigned column (membership is then order-independent), and that for
@@ -503,12 +562,16 @@ def _delete_update_commute(
     update: StatementFootprint,
     *,
     structural: bool = True,
+    image_replay: bool = False,
 ) -> bool:
     # Safe when the update cannot change which rows the delete matches and
     # deleting first cannot change what the update writes (deleted rows are
-    # gone either way, so only membership interference matters).
+    # gone either way, so only membership interference matters).  Sound for
+    # statement replay only: an update replayed *from its image* reinserts
+    # the captured row on hybrid views even after the delete removed it, so
+    # with images present the proof must establish disjoint row sets below.
     update_assigned = {x.column for x in update.assignments}
-    if not update_assigned & delete.where_columns:
+    if not image_replay and not update_assigned & delete.where_columns:
         return True
     if _ranges_disjoint(delete, update) and _cannot_move_into(
         delete, update

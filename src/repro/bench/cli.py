@@ -74,6 +74,15 @@ def main(argv: list[str] | None = None) -> int:
         "through the integrator's certificate-gated pre-flight",
     )
     parser.add_argument(
+        "--columnar",
+        action="store_true",
+        help="run the columnar hot-path smoke pass: shorthand for the "
+        "'columnar' experiment (compiled-kernel batched apply vs "
+        "row-at-a-time, adaptive extraction switching, bit-for-bit state "
+        "digests); composes with --json/--metrics/--trace, and the exit "
+        "code reports the experiment's checks",
+    )
+    parser.add_argument(
         "--fault",
         choices=["drop-queue-message", "swap-lane-ops", "corrupt-delta-rule"],
         help="seed this fault into the flagship pass (drop-queue-message "
@@ -228,6 +237,9 @@ def main(argv: list[str] | None = None) -> int:
                 )
                 return 1
         return health.exit_code
+
+    if args.columnar and "columnar" not in args.experiments:
+        args.experiments = [*args.experiments, "columnar"]
 
     if args.list or not args.experiments:
         if not args.list:

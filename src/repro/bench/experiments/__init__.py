@@ -14,6 +14,7 @@ from . import (
     analysis,
     capture_levels,
     certify,
+    columnar,
     compaction,
     fig2,
     fig3,
@@ -55,6 +56,7 @@ REGISTRY: dict[str, Callable[[], ExperimentResult]] = {
     "analysis": analysis.run,
     "semantics": semantics.run,
     "compaction": compaction.run,
+    "columnar": columnar.run,
     "certify": certify.run,
     "flight": flight.run,
     "verify_plans": verify_plans.run,

@@ -53,6 +53,8 @@ class CostModel:
     row_delete_cpu: float = 2.5        # slot reclaim, free-space update
     bulk_client_cpu_factor: float = 0.83   # client-side bulk insert (array op)
     bulk_internal_cpu_factor: float = 0.30  # fully internal INSERT..SELECT
+    columnar_cpu_factor: float = 0.35      # batched columnar DML (compiled
+                                           # kernels, no per-row dispatch)
 
     # --- indexes ------------------------------------------------------------
     index_insert: float = 1.1
@@ -92,6 +94,17 @@ class CostModel:
 
     def log_append(self, payload_bytes: int) -> float:
         """Cost of appending one WAL record carrying ``payload_bytes``."""
+        return self.log_append_base + self.log_append_per_byte * payload_bytes
+
+    def log_append_batch(self, payload_bytes: int, records: int) -> float:
+        """Cost of one *group* append of ``records`` WAL records.
+
+        The per-record fixed cost (latch, header setup) is paid once for
+        the whole batch; the per-byte cost is never amortised — every
+        image byte still travels to the log buffer.
+        """
+        if records <= 0:
+            return 0.0
         return self.log_append_base + self.log_append_per_byte * payload_bytes
 
     def file_write(self, num_bytes: int) -> float:

@@ -11,11 +11,17 @@ opening the link pays connection setup.
 from __future__ import annotations
 
 import enum
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
-from ..sql.executor import Result
 from .database import Database
 from .session import Session
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    # Deferred to keep ``repro.sql`` importable on its own: the executor
+    # imports this package, so a module-level import here would close an
+    # import cycle whenever ``repro.sql`` (or anything that pulls it in,
+    # like ``repro.columnar``) loads before ``repro.engine``.
+    from ..sql.executor import Result
 
 
 class LinkKind(enum.Enum):

@@ -6,9 +6,22 @@
 * :mod:`~repro.extraction.logscan` — archive-log scanning
 
 All methods emit the same currency, :class:`~repro.extraction.deltas.DeltaBatch`.
+
+:mod:`~repro.extraction.switcher` sits above them: it prices each method
+(plus Op-Delta capture) per table per window with the calibrated cost
+model and routes the table to the cheapest — op-delta replay by default,
+snapshot/bulk-load staging when backlog depth or txn shape favors it.
 """
 
 from .deltas import ChangeKind, DeltaBatch, DeltaRecord, apply_batch_to_rows
+from .switcher import (
+    AdaptiveExtractionSwitcher,
+    ExtractionMethod,
+    MethodEstimate,
+    RoutingDecision,
+    TableProfile,
+    WindowShape,
+)
 from .logscan import LogExtraction, LogExtractor
 from .snapshot_diff import (
     ALGORITHMS,
@@ -22,6 +35,12 @@ from .trigger import TriggerExtractor
 from .writers import DeltaTableWriter, delta_rows_to_batch, delta_table_schema
 
 __all__ = [
+    "AdaptiveExtractionSwitcher",
+    "ExtractionMethod",
+    "MethodEstimate",
+    "RoutingDecision",
+    "TableProfile",
+    "WindowShape",
     "ChangeKind",
     "DeltaBatch",
     "DeltaRecord",

@@ -56,6 +56,12 @@ class LifecycleKind(enum.Enum):
     #: access involving this op at apply time (``detail`` carries the
     #: ``RACE1xx`` code and the other op's correlation id).
     RACE = "race"
+    #: The adaptive extraction switcher picked a capture method for one
+    #: ``(table, window)`` — a table-level decision, recorded with a
+    #: synthetic correlation id (``detail`` carries the chosen method and
+    #: its cost estimate; ops routed away from op-delta replay settle as
+    #: ``PRUNED`` with a ``switcher-*`` stage so conservation closes).
+    ROUTED = "routed"
 
 
 @runtime_checkable

@@ -171,6 +171,8 @@ class PipelineRecorder:
         self.races: list[RaceRecord] = []
         #: Value-delta batches applied (no per-op lineage on that path).
         self.value_batches_applied = 0
+        #: Adaptive-switcher routing decisions (table-level, no lineage).
+        self.routing_decisions = 0
         self._apply_counter = 0
 
     # --------------------------------------------------------------- plumbing
@@ -505,6 +507,36 @@ class PipelineRecorder:
         metrics = self.metrics
         if metrics.enabled:
             metrics.counter("obs.pipeline.races.detected").inc()
+
+    def record_routed(
+        self, table: str, method: str, at_ms: float, detail: str = ""
+    ) -> None:
+        """An adaptive-switcher routing decision for one (table, window).
+
+        Table-level, like :meth:`record_value_batch`: no per-op lineage
+        record is created, so the conservation balance is untouched — the
+        ops a decision routes away from op-delta replay settle separately
+        as ``PRUNED`` with a ``switcher-<method>`` stage.
+        """
+        self.routing_decisions += 1
+        rendered = f"method={method}"
+        if detail:
+            rendered += f" {detail}"
+        self.log.append(
+            LineageEvent(
+                kind=LifecycleKind.ROUTED,
+                correlation_id=f"switcher:{table}",
+                at_ms=at_ms,
+                source="switcher",
+                table=table,
+                detail=rendered,
+            )
+        )
+        metrics = self.metrics
+        if metrics.enabled:
+            metrics.counter(
+                "obs.pipeline.routed", table=table, method=method
+            ).inc()
 
     def record_value_batch(self, table: str, rows: int, at_ms: float) -> None:
         """A value-delta batch applied (no per-op lineage on that path)."""

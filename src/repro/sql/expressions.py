@@ -219,6 +219,18 @@ def _func_call(expr: ast.FuncCall, env: Mapping[str, Any]) -> Any:
             raise SqlAnalysisError(f"{name}() needs a session context (volatile)")
         return user
     args = [evaluate(arg, env) for arg in expr.args]
+    return apply_scalar_function(name, args)
+
+
+def apply_scalar_function(name: str, args: list[Any]) -> Any:
+    """Apply a *pure* scalar function to already-evaluated arguments.
+
+    Shared between the tree-walking evaluator and the columnar closure
+    compiler (:mod:`repro.columnar.kernels`) so both paths agree on
+    every edge case.  Volatile functions (NOW, RANDOM, session user)
+    never reach here — they need session context and are handled by the
+    caller.
+    """
     if name == "COALESCE":
         if not args:
             raise SqlAnalysisError("COALESCE needs at least one argument")
@@ -265,6 +277,14 @@ def _check_comparable(left: Any, right: Any, op: str) -> None:
     raise SqlAnalysisError(
         f"cannot compare {type(left).__name__} with {type(right).__name__} using {op!r}"
     )
+
+
+# Public seams for the columnar closure compiler: the compiled kernels
+# must reproduce this module's three-valued logic bit-for-bit, so they
+# call the *same* helpers instead of re-implementing them.
+sql_truth = _truth
+check_comparable = _check_comparable
+like_regex = _like_regex
 
 
 def referenced_columns(expr: ast.Expression) -> set[str]:

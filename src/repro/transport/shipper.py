@@ -77,6 +77,24 @@ class _CertificateLike(Protocol):
     def findings(self) -> tuple[object, ...]: ...
 
 
+class WindowRouter(Protocol):
+    """Adaptive extraction switching at the transport boundary.
+
+    Structural stand-in for
+    :class:`repro.extraction.switcher.AdaptiveExtractionSwitcher` (same
+    reasoning as the other seams): tables whose backlog is cheaper to
+    reload than to replay are diverted to bulk-load staging *before*
+    their ops cost network bytes or queue space.  The router records its
+    own lifecycle events (``ROUTED`` decisions, ``PRUNED`` settlements).
+    """
+
+    def route_window(
+        self,
+        groups: Iterable[OpDeltaTransaction],
+        at_ms: float | None = None,
+    ) -> tuple[list[OpDeltaTransaction], list[object]]: ...
+
+
 def _shippable_window(
     groups: Iterable[OpDeltaTransaction],
     pruner: TransactionPruner | None,
@@ -193,6 +211,7 @@ def enqueue_op_deltas(
     pruner: TransactionPruner | None = None,
     compactor: Compactor | None = None,
     certifier: ReorderCertifier | None = None,
+    switcher: WindowRouter | None = None,
 ) -> int:
     """Feed Op-Delta groups into a persistent queue (one message per txn).
 
@@ -203,8 +222,16 @@ def enqueue_op_deltas(
     stores — and later ships — the compacted statements.  With a
     ``certifier``, the compactor's reorder obligations are re-proven
     first and an unproven reordering raises
-    :class:`~repro.errors.TransportError` instead of enqueuing.
+    :class:`~repro.errors.TransportError` instead of enqueuing.  With a
+    ``switcher``, the adaptive extraction switcher routes each table's
+    slice of the window first — tables diverted to bulk-load staging
+    never reach the queue (the caller stages them via
+    :meth:`~repro.warehouse.warehouse.Warehouse.staging_refresh`).
     """
+    if switcher is not None:
+        groups, _decisions = switcher.route_window(
+            groups, at_ms=queue.clock.now
+        )
     count = 0
     tracer = ambient_tracer() or NULL_TRACER
     with tracer.span("transport.queue.enqueue_window", clock=queue.clock):

@@ -208,6 +208,9 @@ class ScheduleReport:
     transactions: int
     serial_ms: float = 0.0
     parallel_ms: float = 0.0
+    #: Operations (replayed statements) covered by the schedule, when the
+    #: caller supplies per-component op counts — 0 otherwise.
+    ops: int = 0
     #: Busy time of each worker lane, for load-balance inspection.
     worker_busy_ms: list[float] = field(default_factory=list)
     #: Virtual completion time of each component, in finish order — the
@@ -221,11 +224,26 @@ class ScheduleReport:
             return 1.0
         return self.serial_ms / self.parallel_ms
 
+    @property
+    def serial_ops_per_s(self) -> float:
+        """Apply throughput of the serial baseline, in ops per virtual second."""
+        if self.serial_ms == 0 or not self.ops:
+            return 0.0
+        return self.ops / (self.serial_ms / 1000.0)
+
+    @property
+    def parallel_ops_per_s(self) -> float:
+        """Apply throughput across the worker lanes, in ops per virtual second."""
+        if self.parallel_ms == 0 or not self.ops:
+            return 0.0
+        return self.ops / (self.parallel_ms / 1000.0)
+
 
 def run_batched_schedule(
     component_apply_ms: Sequence[float],
     workers: int = 4,
     metrics: MetricsLike | None = None,
+    ops: int = 0,
 ) -> ScheduleReport:
     """Replay batched group-commit apply times on parallel worker lanes.
 
@@ -234,10 +252,24 @@ def run_batched_schedule(
     whole conflict component is one warehouse transaction, so each entry is
     an indivisible unit of lane work (a one-transaction component as far as
     the schedule is concerned).
+
+    ``ops`` — the window's replayed statement count (typically
+    ``IntegrationReport.statements_issued``) — turns the report's
+    ``serial_ops_per_s`` / ``parallel_ops_per_s`` throughput properties
+    on; the columnar experiment uses them to compare row-at-a-time and
+    columnar apply at equal schedule shapes.
     """
-    return run_conflict_schedule(
+    report = run_conflict_schedule(
         [[ms] for ms in component_apply_ms], workers=workers, metrics=metrics
     )
+    report.ops = ops
+    if ops:
+        registry = metrics if metrics is not None else ambient_metrics()
+        if registry is not None:
+            registry.gauge("warehouse.schedule.ops_per_s").set(
+                report.parallel_ops_per_s
+            )
+    return report
 
 
 def run_conflict_schedule(

@@ -75,6 +75,19 @@ class IntegrationReport:
     #: copied from the op-delta integrator's plan pre-flight; empty when
     #: no plans were supplied or verification was opted out.
     plan_certificates: dict[str, str] = field(default_factory=dict)
+    #: The plan-certificate hash the batched rule memo was keyed on, and
+    #: how many (table, kind, view) resolutions that memo already held
+    #: at window start (>0 means a repeated window reused prior work).
+    rule_memo_key: str = ""
+    rule_memo_preloaded: int = 0
+    #: Columnar-mode accounting (op-delta columnar mode only): statements
+    #: dispatched as compiled batch programs, rows they touched, kernel
+    #: compilations vs cache hits, and row-path fallback barriers.
+    columnar_statements: int = 0
+    columnar_rows: int = 0
+    kernel_compiles: int = 0
+    kernel_cache_hits: int = 0
+    columnar_fallbacks: int = 0
 
     @property
     def mean_transaction_ms(self) -> float:

@@ -236,6 +236,29 @@ class MaterializedView:
                 projected = self._project(after)
                 self.table.insert(txn, projected)
 
+    # ------------------------------------------------------ columnar support
+    # Public seams for :mod:`repro.columnar.apply`: the columnar fast path
+    # needs the view's predicate, base layout and the rewrite narrowing,
+    # without reaching into privates.  Semantics stay defined here.
+
+    @property
+    def predicate(self) -> ast.Expression | None:
+        """The view's selection predicate AST (None selects everything)."""
+        return self._predicate
+
+    @property
+    def base_columns(self) -> tuple[str, ...]:
+        """Base-table column names, in storage order."""
+        return tuple(self._base_columns)
+
+    def narrowed(self, where: ast.Expression | None) -> ast.Expression | None:
+        """The rewrite-path predicate: view predicate AND the op's WHERE."""
+        return self._narrow(where)
+
+    def note_columnar_refresh(self) -> None:
+        """Count a columnar maintenance application as a view refresh."""
+        self._m_refresh.inc()
+
     # ------------------------------------------------------ value-delta path
     def apply_value_delta(self, records, txn: Transaction) -> None:
         """Maintain the view from row-image deltas (the classic path)."""

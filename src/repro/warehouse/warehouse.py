@@ -86,6 +86,32 @@ class Warehouse:
         self.database.commit(txn)
         return count
 
+    def staging_refresh(self, source_table: str, rows: Iterable[Sequence]) -> int:
+        """Bulk-reload a mirror (and its views) from a staged full extract.
+
+        The adaptive extraction switcher
+        (:class:`~repro.extraction.switcher.AdaptiveExtractionSwitcher`)
+        routes a table here when replaying its op-delta backlog would cost
+        more than reloading its state: truncate (minimal logging, like the
+        real utility), refill through the fully internal bulk path, then
+        re-derive every view over the table from the staged rows — all in
+        one warehouse transaction, so OLAP queries never see a half-loaded
+        mirror.  Returns the number of rows loaded.
+        """
+        mirror = self._mirrors.get(source_table, source_table)
+        table = self.database.table(mirror)
+        table.truncate()
+        staged = [tuple(row) for row in rows]
+        txn = self.database.begin()
+        for row in staged:
+            table.insert(txn, row, mode=InsertMode.BULK_INTERNAL)
+        for view in self._views.values():
+            if view.definition.base_table == source_table:
+                view.table.truncate()
+                view.initialize(staged, txn)
+        self.database.commit(txn)
+        return len(staged)
+
     # ------------------------------------------------------------------- views
     def define_view(
         self, definition: ViewDefinition, base_schema: TableSchema

@@ -5,6 +5,8 @@ pairs the analyzer calls commuting, both application orders are executed
 against a live engine and the final states compared.
 """
 
+import dataclasses
+
 import pytest
 
 from repro.analysis.rwsets import extract_footprint
@@ -12,9 +14,11 @@ from repro.analysis.safety import (
     Determinism,
     commutes,
     is_idempotent,
+    op_footprint,
     pin_time_functions,
     statement_determinism,
 )
+from repro.core import OpDelta, OpKind
 from repro.engine import Database
 from repro.sql.parser import parse
 
@@ -307,6 +311,77 @@ class TestCommutes:
             assert commutes(fp(sql_a), fp(sql_b), KEYS) == commutes(
                 fp(sql_b), fp(sql_a), KEYS
             )
+
+
+class TestImageReplayCommutes:
+    """Hybrid-captured ops replay *from their before images* on views that
+    need them — delete-by-key plus a full-row reinsert — so only proofs
+    establishing disjoint row sets survive; pointwise-assignment arguments
+    do not (the later reinsert resurrects the other op's columns)."""
+
+    def imaged(self, sql):
+        return dataclasses.replace(fp(sql), image_replay=True)
+
+    def test_op_footprint_marks_hybrid_captures(self):
+        op = OpDelta(
+            "UPDATE t SET a = 1 WHERE id = 1", "t", OpKind.UPDATE, 1, 0, 0.0
+        )
+        assert op_footprint(op).image_replay is False
+        hybrid = dataclasses.replace(op, before_image=[(1, 10, 100)])
+        assert op_footprint(hybrid).image_replay is True
+
+    def test_disjoint_column_updates_conflict_under_image_replay(self):
+        # Disjoint assigned columns commute under statement replay; a
+        # full-row reinsert overwrites the other op's column from its image.
+        a = "UPDATE t SET a = 1 WHERE id < 3"
+        b = "UPDATE t SET b = 2 WHERE id < 3"
+        assert commutes(fp(a), fp(b), KEYS)
+        assert not commutes(self.imaged(a), fp(b), KEYS)
+        assert not commutes(fp(a), self.imaged(b), KEYS)
+
+    def test_additive_updates_conflict_under_image_replay(self):
+        a = "UPDATE t SET a = a + 5"
+        b = "UPDATE t SET a = a + 7"
+        assert commutes(fp(a), fp(b), KEYS)
+        assert not commutes(self.imaged(a), self.imaged(b), KEYS)
+
+    def test_disjoint_row_proofs_survive_image_replay(self):
+        assert commutes(
+            self.imaged("UPDATE t SET a = 1 WHERE id >= 1 AND id < 2"),
+            self.imaged("UPDATE t SET a = 2 WHERE id >= 2 AND id < 3"),
+            KEYS,
+        )
+
+    def test_deletes_still_commute_imaged(self):
+        # A row deleted by one op cannot appear in the other's image: the
+        # images are disjoint by construction at the source.
+        assert commutes(
+            self.imaged("DELETE FROM t WHERE a < 50"),
+            self.imaged("DELETE FROM t WHERE a < 100"),
+            KEYS,
+        )
+
+    def test_delete_update_pointwise_proof_rejected_imaged(self):
+        # Assigned column disjoint from the delete's WHERE — sound for
+        # statement replay, unsound when either op reinserts full rows.
+        d = "DELETE FROM t WHERE id = 1"
+        u = "UPDATE t SET a = 99 WHERE b < 500"
+        assert commutes(fp(d), fp(u), KEYS)
+        assert not commutes(self.imaged(d), self.imaged(u), KEYS)
+
+    def test_delete_update_disjoint_ranges_survive_imaged(self):
+        assert commutes(
+            self.imaged("DELETE FROM t WHERE id = 1"),
+            self.imaged("UPDATE t SET a = 99 WHERE id = 2"),
+            KEYS,
+        )
+
+    def test_image_replay_symmetric(self):
+        a = "UPDATE t SET a = 1 WHERE id < 3"
+        b = "UPDATE t SET b = 2 WHERE id < 3"
+        assert commutes(self.imaged(a), fp(b), KEYS) == commutes(
+            fp(b), self.imaged(a), KEYS
+        )
 
 
 if __name__ == "__main__":

@@ -161,6 +161,7 @@ class TestCommittedBaselines:
 
     def test_registry_pins_the_ci_artifact_set(self):
         assert bench_gate.GATED_ARTIFACTS == (
+            "BENCH_columnar.json",
             "BENCH_compaction.json",
             "BENCH_health.json",
             "BENCH_flight.json",

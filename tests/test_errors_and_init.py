@@ -78,6 +78,6 @@ class TestPublicSurfaces:
             "snapshot_algorithms", "hybrid_capture", "timestamp_index",
             "freshness", "capture_levels", "aggregate_views", "sensitivity",
             "analysis", "semantics", "compaction", "certify", "flight",
-            "verify_plans",
+            "verify_plans", "columnar",
         }
         assert set(REGISTRY) == expected

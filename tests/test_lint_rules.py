@@ -455,6 +455,153 @@ class TestRepro007DeltaRuleProvenance:
         assert ":3:" in violations[0]
 
 
+class TestRepro008HotLoopDiscipline:
+    COLUMNAR = "repro/columnar/apply.py"
+    INTEGRATOR = "repro/warehouse/opdelta_integrator.py"
+
+    def test_clock_read_in_columnar_loop_flagged(self, tmp_path):
+        violations = lint_source(
+            tmp_path,
+            "def apply(self, rows, clock):\n"
+            "    for row in rows:\n"
+            "        stamp = clock.now\n",
+            name=self.COLUMNAR,
+        )
+        assert len(violations) == 1
+        assert "REPRO008" in violations[0]
+        assert ".now" in violations[0]
+
+    def test_rule_resolution_in_columnar_loop_flagged(self, tmp_path):
+        violations = lint_source(
+            tmp_path,
+            "def apply(self, ops, plan):\n"
+            "    for op in ops:\n"
+            "        rule = plan.rule_for(op.kind)\n",
+            name=self.COLUMNAR,
+        )
+        assert len(violations) == 1
+        assert "REPRO008" in violations[0]
+        assert ".rule_for()" in violations[0]
+
+    def test_classify_and_plan_view_flagged(self, tmp_path):
+        for call in (
+            "analyzer.classify_operation(op)",
+            "planner.plan_view(view)",
+        ):
+            violations = lint_source(
+                tmp_path,
+                f"def go(items, analyzer, planner, view):\n"
+                f"    for op in items:\n"
+                f"        x = {call}\n",
+                name=self.COLUMNAR,
+            )
+            assert any("REPRO008" in v for v in violations), call
+
+    def test_while_loop_test_flagged(self, tmp_path):
+        violations = lint_source(
+            tmp_path,
+            "def drain(self, clock, deadline):\n"
+            "    while clock.now < deadline:\n"
+            "        self.step()\n",
+            name=self.COLUMNAR,
+        )
+        assert any("REPRO008" in v for v in violations)
+
+    def test_hoisted_read_allowed(self, tmp_path):
+        violations = lint_source(
+            tmp_path,
+            "def apply(self, rows, clock):\n"
+            "    now = clock.now\n"
+            "    for row in rows:\n"
+            "        self.stamp(row, now)\n",
+            name=self.COLUMNAR,
+        )
+        assert violations == []
+
+    def test_memoized_bare_name_lookup_allowed(self, tmp_path):
+        # The memoised closure is called by bare name — that IS the memo.
+        violations = lint_source(
+            tmp_path,
+            "def apply(self, ops, rule_for):\n"
+            "    for op in ops:\n"
+            "        rule = rule_for(op.kind)\n",
+            name=self.COLUMNAR,
+        )
+        assert violations == []
+
+    def test_for_iterable_expression_allowed(self, tmp_path):
+        # The iterable of a for loop evaluates once, not per row.
+        violations = lint_source(
+            tmp_path,
+            "def apply(self, plan, op):\n"
+            "    for rule in plan.rule_for(op.kind):\n"
+            "        self.run(rule)\n",
+            name=self.COLUMNAR,
+        )
+        assert violations == []
+
+    def test_integrator_outer_loop_clock_allowed(self, tmp_path):
+        # Per-component timing in the batched integrator is depth 1.
+        violations = lint_source(
+            tmp_path,
+            "def integrate(self, components, clock, report):\n"
+            "    for component in components:\n"
+            "        started = clock.now\n"
+            "        self.run(component)\n"
+            "        report.per_component_ms.append(clock.now - started)\n",
+            name=self.INTEGRATOR,
+        )
+        assert violations == []
+
+    def test_integrator_per_row_clock_flagged(self, tmp_path):
+        violations = lint_source(
+            tmp_path,
+            "def integrate(self, components, clock, recorder):\n"
+            "    for component in components:\n"
+            "        for op in component.operations:\n"
+            "            recorder.record(op, at_ms=clock.now)\n",
+            name=self.INTEGRATOR,
+        )
+        assert any("REPRO008" in v for v in violations)
+
+    def test_integrator_per_row_resolution_flagged(self, tmp_path):
+        violations = lint_source(
+            tmp_path,
+            "def integrate(self, components, plan):\n"
+            "    for component in components:\n"
+            "        for op in component.operations:\n"
+            "            rule = plan.rule_for(op.kind)\n",
+            name=self.INTEGRATOR,
+        )
+        assert any(
+            "REPRO008" in v and ".rule_for()" in v for v in violations
+        )
+
+    def test_same_code_allowed_outside_hot_paths(self, tmp_path):
+        source = (
+            "def go(rows, clock, plan, op):\n"
+            "    for row in rows:\n"
+            "        x = clock.now\n"
+            "        r = plan.rule_for(op.kind)\n"
+        )
+        assert lint_source(tmp_path, source, name="repro/bench/runner.py") == []
+
+    def test_shipped_columnar_package_is_clean(self):
+        package = REPO / "src" / "repro" / "columnar"
+        for path in sorted(package.rglob("*.py")):
+            assert lint_rules.lint_file(path) == [], path
+
+    def test_line_numbers_reported(self, tmp_path):
+        violations = lint_source(
+            tmp_path,
+            "def apply(self, rows, clock):\n"
+            "    for row in rows:\n"
+            "        stamp = clock.now\n",
+            name=self.COLUMNAR,
+        )
+        assert ":3:" in violations[0]
+
+
 class TestCommandLine:
     def run_cli(self, *args):
         return subprocess.run(

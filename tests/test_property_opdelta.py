@@ -31,12 +31,14 @@ def run_source_operations(workload, operations):
         if kind == "insert":
             workload.run_insert(size)
         elif kind == "update":
-            workload.run_update(size, assignment=f"quantity = {size}")
+            if workload.live_rows >= size:
+                workload.run_update(size, assignment=f"quantity = {size}")
         elif kind == "delete":
             if workload.live_rows > size:
                 workload.run_delete(size, top_up=False)
         elif kind == "reprice":
-            workload.run_update(size, assignment="price = price * 1.5")
+            if workload.live_rows >= size:
+                workload.run_update(size, assignment="price = price * 1.5")
         else:  # aborted transaction: must leave no trace anywhere
             session.execute("BEGIN")
             session.execute(

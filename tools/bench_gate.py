@@ -45,6 +45,7 @@ TIME_KEYS = frozenset({"elapsed", "duration", "apply_span"})
 #: ``repro-bench --json`` artifact means registering it here *and*
 #: committing its baseline under :data:`BASELINE_DIR`.
 GATED_ARTIFACTS = (
+    "BENCH_columnar.json",
     "BENCH_compaction.json",
     "BENCH_health.json",
     "BENCH_flight.json",

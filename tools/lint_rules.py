@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Project-specific AST lint rules for the ``repro`` package.
 
-Six disciplines the standard linters cannot express:
+Seven disciplines the standard linters cannot express:
 
 **REPRO001 — virtual-clock discipline.**  All timing inside ``src/repro``
 is deterministic virtual time (:mod:`repro.clock`); wall-clock reads and
@@ -71,6 +71,21 @@ exists to close.  ``DeltaRule(...)`` construction and assignments to a
 ``repro/semantics/planner.py`` (the one compiler) and verifier test
 fixtures (files with ``verify`` in their name, which deliberately build
 broken rules for the verifier to refute).
+
+**REPRO008 — batch hot loops read no per-row ambient state.**  The
+columnar apply path exists to amortise per-statement overheads across a
+batch, so re-introducing a per-row cost inside its loops silently undoes
+the optimisation: reading the clock (``<anything>.now``) or resolving a
+plan/delta rule through an attribute call (``<obj>.rule_for(...)``,
+``<obj>.classify_operation(...)``, ``<obj>.plan_view(...)``) is banned
+inside **any** loop under ``repro/columnar/``, and inside the
+**per-row** loops (loops nested two deep or more) of the integrators'
+batched-apply paths (``warehouse/opdelta_integrator.py``,
+``warehouse/value_integrator.py``).  Hoist the read before the loop —
+``now = clock.now`` once per batch, or a memoised closure for rule
+lookups (a bare ``rule_for(...)`` name call is the memo and stays
+legal).  Outer per-component/per-transaction loops may still read the
+clock: per-group timing is part of the reporting contract.
 
 Usage::
 
@@ -167,6 +182,25 @@ MUTATION_EXEMPT_SUFFIXES = (
 #: The one module allowed to construct delta rules (REPRO007).
 DELTA_RULE_EXEMPT_SUFFIXES = ("semantics/planner.py",)
 
+#: Path fragment marking the columnar hot path (REPRO008): every loop
+#: in the package is a batch loop, so the ban applies at depth 1.
+COLUMNAR_PATH_FRAGMENT = "repro/columnar/"
+
+#: Batched-apply integrators (REPRO008, path suffixes): only loops
+#: nested two deep or more are per-row there — the outer loops iterate
+#: components/transactions, whose per-group clock reads are the
+#: reporting contract.
+BATCH_APPLY_SUFFIXES = (
+    "warehouse/opdelta_integrator.py",
+    "warehouse/value_integrator.py",
+)
+
+#: Attribute-call methods that resolve plans/delta rules (REPRO008).
+#: A bare-name ``rule_for(...)`` call is a memoised closure and legal.
+RESOLUTION_METHODS = frozenset(
+    {"rule_for", "classify_operation", "plan_view", "plan_catalog"}
+)
+
 #: Registry methods whose first argument is a metric name.
 METRIC_METHODS = ("counter", "gauge", "histogram")
 
@@ -249,6 +283,62 @@ def _check_handler(path: Path, handler: ast.ExceptHandler) -> str | None:
     return None
 
 
+def _hot_loop_violations(
+    path: Path, tree: ast.AST, min_depth: int
+) -> list[str]:
+    """REPRO008: flag per-row ambient reads inside batch hot loops.
+
+    Walks the tree tracking loop nesting depth (closures defined inside
+    a loop inherit its depth — they run per iteration).  At or beyond
+    ``min_depth``, an attribute read of ``.now`` or an attribute call to
+    a plan/rule-resolution method is a violation.
+    """
+    violations: list[str] = []
+
+    def flag(node: ast.AST) -> None:
+        for inner in ast.walk(node):
+            if (
+                isinstance(inner, ast.Attribute)
+                and inner.attr == "now"
+                and isinstance(inner.ctx, ast.Load)
+            ):
+                violations.append(
+                    f"{path}:{inner.lineno}: REPRO008 per-row clock read "
+                    "('.now') inside a batch hot loop; hoist it — read the "
+                    "clock once per batch and reuse the value"
+                )
+            elif (
+                isinstance(inner, ast.Call)
+                and isinstance(inner.func, ast.Attribute)
+                and inner.func.attr in RESOLUTION_METHODS
+            ):
+                violations.append(
+                    f"{path}:{inner.lineno}: REPRO008 per-row plan/rule "
+                    f"resolution ('.{inner.func.attr}()') inside a batch "
+                    "hot loop; resolve once per batch (or through a "
+                    "memoised closure) before the loop"
+                )
+
+    def visit(node: ast.AST, depth: int) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.For, ast.While)):
+                if depth + 1 >= min_depth:
+                    # The loop body runs per row; a ``for`` iterable
+                    # evaluates once and stays legal, a ``while`` test
+                    # re-evaluates each pass and does not.
+                    if isinstance(child, ast.While):
+                        flag(child.test)
+                    for statement in [*child.body, *child.orelse]:
+                        flag(statement)
+                else:
+                    visit(child, depth + 1)
+            else:
+                visit(child, depth)
+
+    visit(tree, 0)
+    return violations
+
+
 def lint_file(path: Path) -> list[str]:
     try:
         tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
@@ -266,6 +356,11 @@ def lint_file(path: Path) -> list[str]:
     rule_exempt = normalized.endswith(DELTA_RULE_EXEMPT_SUFFIXES) or (
         "verify" in path.name
     )
+
+    if COLUMNAR_PATH_FRAGMENT in normalized:
+        violations.extend(_hot_loop_violations(path, tree, min_depth=1))
+    elif normalized.endswith(BATCH_APPLY_SUFFIXES):
+        violations.extend(_hot_loop_violations(path, tree, min_depth=2))
 
     for node in ast.walk(tree):
         if isinstance(node, ast.ExceptHandler):
