@@ -13,12 +13,168 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from dataclasses import dataclass
+from typing import Any, Callable
 
+from ..errors import ReproError
 from ..obs.context import observe
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracing import Tracer
 from .experiments import REGISTRY
 from .report import render, render_analysis, render_compaction
+
+
+# --------------------------------------------------------------- report passes
+def _health_pass(args: argparse.Namespace) -> tuple[Any, str]:
+    from .health import run_health
+    from .report import render_health
+
+    report = run_health(fault=args.fault)
+    return report, render_health(report)
+
+
+def _certify_pass(args: argparse.Namespace) -> tuple[Any, str]:
+    from .certify import run_certify
+    from .report import render_certify
+
+    report = run_certify(fault=args.fault)
+    return report, render_certify(report)
+
+
+def _verify_pass(args: argparse.Namespace) -> tuple[Any, str]:
+    from .report import render_verify
+    from .verify import run_verify
+
+    report = run_verify(fault=args.fault)
+    return report, render_verify(report)
+
+
+def _flight_pass(args: argparse.Namespace) -> tuple[Any, str]:
+    from .flight import run_flight
+    from .report import render_flight
+
+    report = run_flight()
+    return report, render_flight(report)
+
+
+def _forensics_pass(args: argparse.Namespace) -> tuple[Any, str]:
+    from .introspect import run_forensics
+    from .report import render_forensics
+
+    report = run_forensics()
+    return report, render_forensics(report)
+
+
+def _sql_pass(args: argparse.Namespace) -> tuple[Any, str]:
+    from .introspect import run_sql
+    from .report import render_query_result
+
+    report = run_sql(args.sql)
+    assert report.query is not None
+    return report, render_query_result(report.query)
+
+
+@dataclass(frozen=True)
+class ReportPass:
+    """One alternate report mode of the CLI (a ``--health``-style flag).
+
+    This registry is the single source of truth for everything
+    flag-shaped about the report passes: argparse registration, the
+    mutual-exclusion check, ``--fault`` gating, dispatch and the
+    no-arguments usage hint all iterate :data:`REPORT_PASSES` instead of
+    repeating the flag list.
+    """
+
+    flag: str
+    #: Short phrase for the no-arguments usage hint.
+    summary: str
+    #: Full ``--help`` text.
+    help: str
+    #: Runs the pass; returns the report (``to_dict``/``exit_code``) and
+    #: its rendered text.
+    run: Callable[[argparse.Namespace], tuple[Any, str]]
+    #: The ``--fault`` choice that requires this pass, if any.
+    fault: str | None = None
+    #: argparse metavar for value-taking flags; ``None`` = store_true.
+    metavar: str | None = None
+
+    @property
+    def dest(self) -> str:
+        return self.flag.lstrip("-").replace("-", "_")
+
+    def active(self, args: argparse.Namespace) -> bool:
+        value = getattr(args, self.dest)
+        return value is not None and value is not False
+
+
+REPORT_PASSES: tuple[ReportPass, ...] = (
+    ReportPass(
+        flag="--health",
+        summary="audited pipeline-health pass",
+        help="run the audited pipeline-health pass instead of experiments: "
+        "capture the seed workload through the plain, batched and compacted "
+        "pipelines, audit lineage conservation, ordering and state digests, "
+        "and print per-view freshness, per-stage lag and the auditor verdict",
+        run=_health_pass,
+        fault="drop-queue-message",
+    ),
+    ReportPass(
+        flag="--certify",
+        summary="schedule-certification pass",
+        help="run the schedule-certification pass instead of experiments: "
+        "statically prove the seed plain/batched/compacted schedules "
+        "serializable, measure the widened commutativity prover's "
+        "parallelism delta, and verify state parity and zero sanitizer "
+        "overhead",
+        run=_certify_pass,
+        fault="swap-lane-ops",
+    ),
+    ReportPass(
+        flag="--verify-plans",
+        summary="delta-rule verification pass",
+        help="run the delta-rule verification pass instead of experiments: "
+        "model-check every compiled view-maintenance plan in the seed "
+        "catalog over exhaustive small-scope micro-databases, prove the "
+        "certificate cache is pay-once, and drive a captured workload "
+        "through the integrator's certificate-gated pre-flight",
+        run=_verify_pass,
+        fault="corrupt-delta-rule",
+    ),
+    ReportPass(
+        flag="--flight",
+        summary="flight-recorded pipeline pass",
+        help="run the flight-recorded pipeline pass instead of experiments: "
+        "drive the seed workload with a seeded load spike under the full "
+        "time-series/cost-attribution/SLO stack, and print the window "
+        "timeline, the top-K cost profile and every burn-rate alert; the "
+        "exit code reports whether the spike alert fired and cleared",
+        run=_flight_pass,
+    ),
+    ReportPass(
+        flag="--forensics",
+        summary="system-catalog queue-stall drill",
+        help="run the system-catalog forensics drill instead of experiments: "
+        "drive a steady workload with a seeded queue stall under the full "
+        "observability stack, assemble sys.critical_path, check lifecycle "
+        "conservation via SQL against the pipeline auditor, refresh the "
+        "incremental monitoring views, and print per-window/per-view stage "
+        "blame; the exit code is 0 only when the queue stage is blamed for "
+        "the p99 end-to-end lag",
+        run=_forensics_pass,
+    ),
+    ReportPass(
+        flag="--sql",
+        summary="ad-hoc SELECT over the sys.* system tables",
+        help="run one read-only SELECT over the sys.* system tables "
+        "(sys.events, sys.metrics, sys.watermarks, sys.lag, sys.series, "
+        "sys.cost, sys.slo, sys.critical_path) snapshotted from the "
+        "deterministic forensics drill, and print the result rows; "
+        "malformed or unresolvable queries exit 2 with a positioned "
+        "diagnostic",
+        run=_sql_pass,
+        metavar="QUERY",
+    ),
+)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -47,32 +203,17 @@ def main(argv: list[str] | None = None) -> int:
         "arguments, check annotated SQL fixtures ('-- expect: CODE' lines) "
         "for exact diagnostic matches",
     )
-    parser.add_argument(
-        "--health",
-        action="store_true",
-        help="run the audited pipeline-health pass instead of experiments: "
-        "capture the seed workload through the plain, batched and compacted "
-        "pipelines, audit lineage conservation, ordering and state digests, "
-        "and print per-view freshness, per-stage lag and the auditor verdict",
-    )
-    parser.add_argument(
-        "--certify",
-        action="store_true",
-        help="run the schedule-certification pass instead of experiments: "
-        "statically prove the seed plain/batched/compacted schedules "
-        "serializable, measure the widened commutativity prover's "
-        "parallelism delta, and verify state parity and zero sanitizer "
-        "overhead",
-    )
-    parser.add_argument(
-        "--verify-plans",
-        action="store_true",
-        help="run the delta-rule verification pass instead of experiments: "
-        "model-check every compiled view-maintenance plan in the seed "
-        "catalog over exhaustive small-scope micro-databases, prove the "
-        "certificate cache is pay-once, and drive a captured workload "
-        "through the integrator's certificate-gated pre-flight",
-    )
+    for report_pass in REPORT_PASSES:
+        if report_pass.metavar is None:
+            parser.add_argument(
+                report_pass.flag, action="store_true", help=report_pass.help
+            )
+        else:
+            parser.add_argument(
+                report_pass.flag,
+                metavar=report_pass.metavar,
+                help=report_pass.help,
+            )
     parser.add_argument(
         "--columnar",
         action="store_true",
@@ -84,20 +225,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--fault",
-        choices=["drop-queue-message", "swap-lane-ops", "corrupt-delta-rule"],
+        choices=[p.fault for p in REPORT_PASSES if p.fault is not None],
         help="seed this fault into the flagship pass (drop-queue-message "
         "with --health, swap-lane-ops with --certify, corrupt-delta-rule "
         "with --verify-plans); the exit code then reports whether the "
         "fault was detected",
-    )
-    parser.add_argument(
-        "--flight",
-        action="store_true",
-        help="run the flight-recorded pipeline pass instead of experiments: "
-        "drive the seed workload with a seeded load spike under the full "
-        "time-series/cost-attribution/SLO stack, and print the window "
-        "timeline, the top-K cost profile and every burn-rate alert; the "
-        "exit code reports whether the spike alert fired and cleared",
     )
     parser.add_argument(
         "--metrics",
@@ -140,112 +272,55 @@ def main(argv: list[str] | None = None) -> int:
 
         return run_check(args.experiments)
 
-    chosen = [
-        name
-        for enabled, name in (
-            (args.health, "--health"),
-            (args.flight, "--flight"),
-            (args.certify, "--certify"),
-            (args.verify_plans, "--verify-plans"),
-        )
-        if enabled
-    ]
-    if len(chosen) > 1:
-        print(f"{' and '.join(chosen)} are mutually exclusive", file=sys.stderr)
+    active = [p for p in REPORT_PASSES if p.active(args)]
+    if len(active) > 1:
+        flags = " and ".join(p.flag for p in active)
+        print(f"{flags} are mutually exclusive", file=sys.stderr)
         return 2
-    if args.fault == "drop-queue-message" and not args.health:
-        print("--fault drop-queue-message requires --health", file=sys.stderr)
-        return 2
-    if args.fault == "swap-lane-ops" and not args.certify:
-        print("--fault swap-lane-ops requires --certify", file=sys.stderr)
-        return 2
-    if args.fault == "corrupt-delta-rule" and not args.verify_plans:
-        print(
-            "--fault corrupt-delta-rule requires --verify-plans",
-            file=sys.stderr,
-        )
-        return 2
+    for report_pass in REPORT_PASSES:
+        if (
+            report_pass.fault is not None
+            and args.fault == report_pass.fault
+            and not report_pass.active(args)
+        ):
+            print(
+                f"--fault {report_pass.fault} requires {report_pass.flag}",
+                file=sys.stderr,
+            )
+            return 2
 
-    if args.verify_plans:
-        from .report import render_verify
-        from .verify import run_verify
-
-        verify = run_verify(fault=args.fault)
+    if active:
+        try:
+            result, rendered = active[0].run(args)
+        except ReproError as exc:
+            print(f"repro-bench: {exc}", file=sys.stderr)
+            return 2
         destination = sys.stderr if args.json == "-" else sys.stdout
-        print(render_verify(verify), file=destination)
+        print(rendered, file=destination)
         if args.json is not None:
             try:
-                _write(args.json, verify.to_dict())
+                _write(args.json, result.to_dict())
             except OSError as exc:
                 print(
                     f"repro-bench: cannot write {exc.filename}: {exc.strerror}",
                     file=sys.stderr,
                 )
                 return 1
-        return verify.exit_code
-
-    if args.certify:
-        from .certify import run_certify
-        from .report import render_certify
-
-        certify = run_certify(fault=args.fault)
-        destination = sys.stderr if args.json == "-" else sys.stdout
-        print(render_certify(certify), file=destination)
-        if args.json is not None:
-            try:
-                _write(args.json, certify.to_dict())
-            except OSError as exc:
-                print(
-                    f"repro-bench: cannot write {exc.filename}: {exc.strerror}",
-                    file=sys.stderr,
-                )
-                return 1
-        return certify.exit_code
-
-    if args.flight:
-        from .flight import run_flight
-        from .report import render_flight
-
-        flight = run_flight()
-        destination = sys.stderr if args.json == "-" else sys.stdout
-        print(render_flight(flight), file=destination)
-        if args.json is not None:
-            try:
-                _write(args.json, flight.to_dict())
-            except OSError as exc:
-                print(
-                    f"repro-bench: cannot write {exc.filename}: {exc.strerror}",
-                    file=sys.stderr,
-                )
-                return 1
-        return flight.exit_code
-
-    if args.health:
-        from .health import run_health
-        from .report import render_health
-
-        health = run_health(fault=args.fault)
-        destination = sys.stderr if args.json == "-" else sys.stdout
-        print(render_health(health), file=destination)
-        if args.json is not None:
-            try:
-                _write(args.json, health.to_dict())
-            except OSError as exc:
-                print(
-                    f"repro-bench: cannot write {exc.filename}: {exc.strerror}",
-                    file=sys.stderr,
-                )
-                return 1
-        return health.exit_code
+        return result.exit_code
 
     if args.columnar and "columnar" not in args.experiments:
         args.experiments = [*args.experiments, "columnar"]
 
     if args.list or not args.experiments:
         if not args.list:
+            hints = "; ".join(
+                f"{p.flag}: {p.summary}" for p in REPORT_PASSES
+            )
             print(
                 "repro-bench: no experiments given; listing the available "
-                "ids (run `repro-bench all` or `repro-bench --help`)",
+                "ids.  Run `repro-bench all` for every experiment, or one "
+                f"of the report passes ({hints}); `repro-bench --help` has "
+                "the details",
                 file=sys.stderr,
             )
         for name in REGISTRY:

@@ -18,6 +18,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from .certify import CertifyReport
     from .flight import FlightReport
     from .health import HealthReport
+    from .introspect import ForensicsReport
     from .verify import VerifyReport
 
 
@@ -468,6 +469,139 @@ def render_flight(report: "FlightReport") -> str:
                 f"@{format_duration(finding['at_ms'])} "
                 f"{finding['objective']}: {finding['message']}"
             )
+    return "\n".join(out)
+
+
+def _render_blame(rows: list[dict]) -> str:
+    grid = [["entity", "ops", "check", "ship", "queue", "apply", "critical"]]
+    for row in rows:
+        segments = row["segments"]
+        grid.append(
+            [
+                row["label"],
+                str(row["ops"]),
+                format_duration(segments["check"]),
+                format_duration(segments["ship"]),
+                format_duration(segments["queue"]),
+                format_duration(segments["apply"]),
+                row["critical_stage"],
+            ]
+        )
+    return _render_grid(grid)
+
+
+def render_query_result(query: dict) -> str:
+    """Render one ad-hoc catalog query result (``repro-bench --sql``)."""
+    out = [f"-- {query['sql']}"]
+    grid = [[str(column) for column in query["columns"]]]
+    for row in query["rows"]:
+        grid.append(["NULL" if cell is None else str(cell) for cell in row])
+    out.append(_render_grid(grid))
+    count = len(query["rows"])
+    out.append(f"({count} row{'' if count == 1 else 's'})")
+    return "\n".join(out)
+
+
+def render_forensics(report: "ForensicsReport") -> str:
+    """Render one queue-stall drill (``repro-bench --forensics``).
+
+    The drill verdict, the window timeline with the stall marked, the
+    ``sys.*`` table census, per-window/per-view stage blame with the p99
+    critical path, the SQL-vs-auditor conservation balance sheet and the
+    monitoring-view refresh ledger.
+    """
+    out = ["== system catalog forensics =="]
+    verdict = "STALL BLAMED" if report.exit_code == 0 else "FORENSICS FAILED"
+    out.append(
+        f"verdict: {verdict} (p99 stage: {report.p99_stage or '<none>'}, "
+        f"queue share: {report.p99_queue_share * 100:.1f}%, "
+        f"conservation: {'match' if report.conservation_matches else 'DIVERGED'}, "
+        f"observer cost: {'zero' if report.zero_cost_ok else 'NONZERO'})"
+    )
+    out.append(f"final virtual time: {format_duration(report.final_virtual_ms)}")
+    if report.windows:
+        out.append("")
+        out.append("window timeline:")
+        grid = [["win", "at", "txns", "enq", "applied", "depth", ""]]
+        for window in report.windows:
+            grid.append(
+                [
+                    str(window["window"]),
+                    format_duration(window["at_ms"]),
+                    str(window["txns"]),
+                    str(window["enqueued"]),
+                    str(window["applied"]),
+                    str(window["queue_depth"]),
+                    "STALLED" if window["stalled"] else "",
+                ]
+            )
+        out.append(_indent(_render_grid(grid)))
+    if report.table_rows:
+        out.append("")
+        out.append("system catalog:")
+        grid = [["table", "rows"]]
+        for name, rows in report.table_rows.items():
+            grid.append([name, f"{rows:,}"])
+        out.append(_indent(_render_grid(grid)))
+    p99 = report.forensics.get("p99")
+    if p99 is not None:
+        out.append("")
+        out.append(
+            f"p99 critical path: {p99['correlation_id']} "
+            f"(window {p99['window_index']}, "
+            f"views {','.join(p99['views']) or '<none>'})"
+        )
+        out.append(
+            f"  check {format_duration(p99['check_ms'])}"
+            f" | ship {format_duration(p99['ship_ms'])}"
+            f" | queue {format_duration(p99['queue_ms'])}"
+            f" | apply {format_duration(p99['apply_ms'])}"
+            f" -> end-to-end {format_duration(p99['end_to_end_ms'])}"
+        )
+    if report.forensics.get("windows"):
+        out.append("")
+        out.append("stage blame by window:")
+        out.append(_indent(_render_blame(report.forensics["windows"])))
+    if report.forensics.get("views"):
+        out.append("")
+        out.append("stage blame by view:")
+        out.append(_indent(_render_blame(report.forensics["views"])))
+    if report.conservation_sql:
+        out.append("")
+        state = "match" if report.conservation_matches else "DIVERGED"
+        out.append(f"conservation ({state}):")
+        grid = [["bucket", "sql", "auditor"]]
+        for bucket, sql_count in report.conservation_sql.items():
+            grid.append(
+                [
+                    bucket,
+                    str(sql_count),
+                    str(report.conservation_auditor.get(bucket, 0)),
+                ]
+            )
+        out.append(_indent(_render_grid(grid)))
+    if report.meta_refreshes:
+        out.append("")
+        out.append(
+            "monitoring views "
+            f"(converged: {report.meta_converged}, "
+            f"guard: {report.meta_guard_ok}, "
+            f"digests: {report.meta_digests_ok}):"
+        )
+        for index, refresh in enumerate(report.meta_refreshes):
+            deltas = ", ".join(
+                f"{delta['table']} +{delta['inserted']}"
+                f"/~{delta['updated']}/-{delta['deleted']}"
+                for delta in refresh["deltas"]
+                if delta["inserted"] or delta["updated"] or delta["deleted"]
+            )
+            out.append(
+                f"  refresh {index}: {refresh['rows_changed']} rows changed"
+                + (f" ({deltas})" if deltas else " (empty delta)")
+            )
+    if report.query is not None:
+        out.append("")
+        out.append(render_query_result(report.query))
     return "\n".join(out)
 
 

@@ -1,0 +1,384 @@
+"""The ``sys.*`` virtual tables: schemas plus snapshot adapters.
+
+Each system table is a :class:`~repro.engine.schema.TableSchema` (so the
+semantic checker can resolve and type ad-hoc telemetry queries exactly
+like application SQL) paired with an adapter that folds one live
+observability store into plain row tuples.  Adapters *read* — they never
+mutate the store, never advance its clock, and tolerate a store that was
+never wired up (``None`` in the :class:`StoreBundle` yields an empty
+table, not an error).
+
+The eight tables and their sources:
+
+=====================  ====================================================
+``sys.events``         :class:`~repro.obs.pipeline.events.EventLog`
+``sys.metrics``        :class:`~repro.obs.metrics.MetricsRegistry`
+``sys.watermarks``     recorder source/table watermarks
+``sys.lag``            recorder four-stage lag samples
+``sys.series``         :class:`~repro.obs.flight.series.TimeSeriesStore`
+``sys.cost``           :class:`~repro.obs.flight.attribution.CostLedger`
+``sys.slo``            :class:`~repro.obs.flight.slo.SLOEngine` history
+``sys.critical_path``  :class:`.forensics.CriticalPathAnalyzer`
+=====================  ====================================================
+
+String values are clipped to the declared CHAR width and sanitised to
+latin-1 (the engine's fixed-width record encoding) so no telemetry value
+— however exotic a statement detail gets — can make a snapshot fail to
+materialise.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from ...engine.schema import Column, TableSchema
+from ...engine.types import FLOAT, INTEGER, char
+from ..flight.attribution import CostLedger
+from ..flight.series import TimeSeriesStore
+from ..flight.slo import SLOEngine
+from ..metrics import Counter, Gauge, Histogram, MetricsRegistry
+from ..pipeline.recorder import PipelineRecorder
+from .forensics import CriticalPathAnalyzer
+
+Row = tuple[Any, ...]
+
+#: ``lane=<n>`` marker inside an event's detail text (the batched
+#: integrator's lane scheduler stamps it); absent means NULL.
+_LANE_PATTERN = re.compile(r"\blane=(\d+)\b")
+
+
+def clip(value: Any, width: int) -> str:
+    """Render ``value`` as a latin-1-safe string of at most ``width`` chars."""
+    text = "" if value is None else str(value)
+    text = text.encode("latin-1", "replace").decode("latin-1")
+    return text[:width]
+
+
+@dataclass
+class StoreBundle:
+    """The live stores one catalog reads.  Every field is optional —
+
+    a bundle models whatever subset of the observability stack the
+    current run actually wired up, and adapters render missing stores
+    as empty tables.
+    """
+
+    recorder: PipelineRecorder | None = None
+    metrics: MetricsRegistry | None = None
+    series: TimeSeriesStore | None = None
+    ledger: CostLedger | None = None
+    slo: SLOEngine | None = None
+
+
+@dataclass(frozen=True)
+class SysTable:
+    """One virtual table: its relational schema and its snapshot adapter."""
+
+    schema: TableSchema
+    rows: Callable[[StoreBundle], list[Row]]
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+
+# ------------------------------------------------------------------- schemas
+EVENTS_SCHEMA = TableSchema(
+    "sys.events",
+    [
+        Column("correlation_id", char(48), nullable=False),
+        Column("kind", char(16), nullable=False),
+        Column("at_ms", FLOAT, nullable=False),
+        Column("source", char(24)),
+        Column("table_name", char(24)),
+        Column("txn_id", INTEGER),
+        Column("sequence", INTEGER),
+        Column("lane", INTEGER),
+        Column("detail", char(96)),
+    ],
+)
+
+METRICS_SCHEMA = TableSchema(
+    "sys.metrics",
+    [
+        Column("name", char(96), nullable=False),
+        Column("kind", char(12), nullable=False),
+        Column("value", FLOAT, nullable=False),
+    ],
+)
+
+WATERMARKS_SCHEMA = TableSchema(
+    "sys.watermarks",
+    [
+        Column("source", char(24), nullable=False),
+        Column("table_name", char(24)),
+        Column("low_seq", INTEGER),
+        Column("high_seq", INTEGER),
+        Column("captured", INTEGER),
+        Column("settled", INTEGER),
+        Column("in_flight", INTEGER),
+        Column("captured_ops", INTEGER),
+        Column("applied_ops", INTEGER),
+        Column("captured_through_ms", FLOAT),
+        Column("applied_through_ms", FLOAT),
+        Column("lag_ms", FLOAT),
+    ],
+)
+
+LAG_SCHEMA = TableSchema(
+    "sys.lag",
+    [
+        Column("stage", char(20), nullable=False),
+        Column("sample_index", INTEGER, nullable=False),
+        Column("value_ms", FLOAT, nullable=False),
+    ],
+)
+
+SERIES_SCHEMA = TableSchema(
+    "sys.series",
+    [
+        Column("series", char(64), nullable=False),
+        Column("sample_index", INTEGER, nullable=False),
+        Column("at_ms", FLOAT, nullable=False),
+        Column("value", FLOAT, nullable=False),
+    ],
+)
+
+COST_SCHEMA = TableSchema(
+    "sys.cost",
+    [
+        Column("stage", char(20), nullable=False),
+        Column("entity", char(32), nullable=False),
+        Column("self_ns", INTEGER, nullable=False),
+        Column("self_ms", FLOAT, nullable=False),
+        Column("spans", INTEGER, nullable=False),
+    ],
+)
+
+SLO_SCHEMA = TableSchema(
+    "sys.slo",
+    [
+        Column("code", char(8), nullable=False),
+        Column("severity", char(8), nullable=False),
+        Column("state", char(8), nullable=False),
+        Column("at_ms", FLOAT, nullable=False),
+        Column("objective", char(40), nullable=False),
+        Column("entity", char(32), nullable=False),
+        Column("short_burn", FLOAT, nullable=False),
+        Column("long_burn", FLOAT, nullable=False),
+        Column("message", char(120), nullable=False),
+    ],
+)
+
+CRITICAL_PATH_SCHEMA = TableSchema(
+    "sys.critical_path",
+    [
+        Column("correlation_id", char(48), nullable=False),
+        Column("source", char(24), nullable=False),
+        Column("table_name", char(24), nullable=False),
+        Column("window_index", INTEGER, nullable=False),
+        Column("views", char(64), nullable=False),
+        Column("check_ms", FLOAT, nullable=False),
+        Column("ship_ms", FLOAT, nullable=False),
+        Column("queue_ms", FLOAT, nullable=False),
+        Column("apply_ms", FLOAT, nullable=False),
+        Column("end_to_end_ms", FLOAT, nullable=False),
+        Column("critical_stage", char(12), nullable=False),
+    ],
+)
+
+
+# ------------------------------------------------------------------ adapters
+def _events_rows(bundle: StoreBundle) -> list[Row]:
+    if bundle.recorder is None:
+        return []
+    rows: list[Row] = []
+    for event in bundle.recorder.log:
+        lane_match = _LANE_PATTERN.search(event.detail) if event.detail else None
+        rows.append(
+            (
+                clip(event.correlation_id, 48),
+                clip(event.kind.value, 16),
+                float(event.at_ms),
+                clip(event.source, 24),
+                clip(event.table, 24),
+                event.txn_id,
+                event.sequence,
+                int(lane_match.group(1)) if lane_match else None,
+                clip(event.detail, 96),
+            )
+        )
+    return rows
+
+
+def _metrics_rows(bundle: StoreBundle) -> list[Row]:
+    if bundle.metrics is None:
+        return []
+    rows: list[Row] = []
+    for instrument in bundle.metrics.instruments():
+        # Histograms expose their observation count as the scalar; the
+        # distribution itself lives in sys.lag / sys.series.
+        if isinstance(instrument, Histogram):
+            value = float(instrument.count)
+        elif isinstance(instrument, (Counter, Gauge)):
+            value = float(instrument.value)
+        else:  # pragma: no cover - the registry mints only these three
+            continue
+        rows.append(
+            (clip(instrument.qualified_name, 96), clip(instrument.kind, 12), value)
+        )
+    return rows
+
+
+def _watermarks_rows(bundle: StoreBundle) -> list[Row]:
+    if bundle.recorder is None:
+        return []
+    rows: list[Row] = []
+    for name in sorted(bundle.recorder.sources):
+        source = bundle.recorder.sources[name]
+        rows.append(
+            (
+                clip(source.source, 24),
+                None,
+                source.low_seq,
+                source.high_seq,
+                source.captured,
+                source.settled,
+                source.in_flight,
+                None,
+                None,
+                None,
+                None,
+                None,
+            )
+        )
+    for key in sorted(bundle.recorder.tables):
+        table = bundle.recorder.tables[key]
+        rows.append(
+            (
+                clip(table.source, 24),
+                clip(table.table, 24),
+                None,
+                None,
+                None,
+                None,
+                None,
+                table.captured_ops,
+                table.applied_ops,
+                table.captured_through_ms,
+                table.applied_through_ms,
+                table.lag_ms,
+            )
+        )
+    return rows
+
+
+def _lag_rows(bundle: StoreBundle) -> list[Row]:
+    if bundle.recorder is None:
+        return []
+    rows: list[Row] = []
+    for stage in sorted(bundle.recorder.lags):
+        samples = bundle.recorder.lags[stage]
+        for index, value in enumerate(samples.values):
+            rows.append((clip(stage, 20), index, float(value)))
+    return rows
+
+
+def _series_rows(bundle: StoreBundle) -> list[Row]:
+    if bundle.series is None:
+        return []
+    rows: list[Row] = []
+    for name in bundle.series.names():
+        series = bundle.series.get(name)
+        if series is None:  # pragma: no cover - names() only lists existing
+            continue
+        # Global sample ordinals: a ring that evicted N samples starts at
+        # index N, making retention loss visible as a gap from zero.
+        base = series.recorded - len(series)
+        for offset, (at_ms, value) in enumerate(series.window()):
+            rows.append((clip(name, 64), base + offset, float(at_ms), float(value)))
+    return rows
+
+
+def _cost_rows(bundle: StoreBundle) -> list[Row]:
+    if bundle.ledger is None:
+        return []
+    return [
+        (
+            clip(row.stage, 20),
+            clip(row.entity, 32),
+            int(row.self_ns),
+            float(row.self_ms),
+            int(row.spans),
+        )
+        for row in bundle.ledger.rows()
+    ]
+
+
+#: SLO finding code -> alert state: odd codes fire, even codes clear,
+#: SLO005 means the window had no data to judge.
+_SLO_STATES = {
+    "SLO001": "fired",
+    "SLO002": "cleared",
+    "SLO003": "fired",
+    "SLO004": "cleared",
+    "SLO005": "no-data",
+}
+
+
+def _slo_rows(bundle: StoreBundle) -> list[Row]:
+    if bundle.slo is None:
+        return []
+    return [
+        (
+            clip(finding.code, 8),
+            clip(finding.severity, 8),
+            clip(_SLO_STATES.get(finding.code, "fired"), 8),
+            float(finding.at_ms),
+            clip(finding.objective, 40),
+            clip(finding.entity, 32),
+            float(finding.short_burn),
+            float(finding.long_burn),
+            clip(finding.message, 120),
+        )
+        for finding in bundle.slo.history
+    ]
+
+
+def _critical_path_rows(bundle: StoreBundle) -> list[Row]:
+    if bundle.recorder is None:
+        return []
+    return [
+        (
+            clip(row.correlation_id, 48),
+            clip(row.source, 24),
+            clip(row.table, 24),
+            row.window_index,
+            clip(",".join(row.views), 64),
+            row.check_ms,
+            row.ship_ms,
+            row.queue_ms,
+            row.apply_ms,
+            row.end_to_end_ms,
+            clip(row.critical_stage, 12),
+        )
+        for row in CriticalPathAnalyzer(bundle.recorder).rows()
+    ]
+
+
+#: The catalog: every virtual table, keyed by its qualified name.
+SYS_TABLES: dict[str, SysTable] = {
+    table.name: table
+    for table in (
+        SysTable(EVENTS_SCHEMA, _events_rows),
+        SysTable(METRICS_SCHEMA, _metrics_rows),
+        SysTable(WATERMARKS_SCHEMA, _watermarks_rows),
+        SysTable(LAG_SCHEMA, _lag_rows),
+        SysTable(SERIES_SCHEMA, _series_rows),
+        SysTable(COST_SCHEMA, _cost_rows),
+        SysTable(SLO_SCHEMA, _slo_rows),
+        SysTable(CRITICAL_PATH_SCHEMA, _critical_path_rows),
+    )
+}

@@ -27,7 +27,7 @@ core → obs dependency direction intact.
 """
 
 from .auditor import AuditFinding, AuditReport, PipelineAuditor, StateDigest
-from .context import ambient_pipeline, observe_pipeline
+from .context import ambient_pipeline, observe_pipeline, suppress_pipeline
 from .events import (
     EventLog,
     LifecycleKind,
@@ -64,4 +64,5 @@ __all__ = [
     "lineage_key",
     "lineage_source",
     "observe_pipeline",
+    "suppress_pipeline",
 ]

@@ -23,7 +23,7 @@ from contextlib import contextmanager
 
 from .recorder import PipelineRecorder
 
-_STACK: list[PipelineRecorder] = []
+_STACK: list[PipelineRecorder | None] = []
 
 
 def ambient_pipeline() -> PipelineRecorder | None:
@@ -40,5 +40,24 @@ def observe_pipeline(
     _STACK.append(active)
     try:
         yield active
+    finally:
+        _STACK.pop()
+
+
+@contextmanager
+def suppress_pipeline() -> Iterator[None]:
+    """Mask any ambient recorder for the duration of the block.
+
+    The meta-observation guard: when the observability subsystem drives
+    the pipeline machinery over its *own* telemetry (monitoring views
+    maintained through the capture/transport/integrate path), the
+    self-pipeline must not record lineage into the recorder it is
+    observing — that would perturb the very counts it reports.  Pushing
+    ``None`` makes :func:`ambient_pipeline` answer "lineage off" inside
+    the block while leaving the outer recorder installed.
+    """
+    _STACK.append(None)
+    try:
+        yield
     finally:
         _STACK.pop()

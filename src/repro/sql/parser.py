@@ -87,6 +87,25 @@ class _Parser:
     def _identifier(self) -> str:
         return self._expect(TokenKind.IDENT).text
 
+    def _table_name(self) -> Token:
+        """A table name: ``ident`` or a qualified ``schema.ident``.
+
+        Qualified names (``sys.events``) are folded into a single dotted
+        string — the engine resolves them as flat table names, so the
+        parser never needs a notion of namespaces.  The returned token
+        carries the position of the first part for diagnostics.
+        """
+        first = self._expect(TokenKind.IDENT)
+        if self._check(TokenKind.SYMBOL, ".") and self._tokens[
+            self._pos + 1
+        ].kind is TokenKind.IDENT:
+            self._advance()
+            second = self._expect(TokenKind.IDENT)
+            return Token(
+                TokenKind.IDENT, f"{first.text}.{second.text}", first.position
+            )
+        return first
+
     # -------------------------------------------------------------- statements
     def parse_statement(self) -> ast.Statement:
         token = self._peek()
@@ -124,7 +143,7 @@ class _Parser:
         limit = None
         table_pos = None
         if self._accept(TokenKind.KEYWORD, "FROM"):
-            table_token = self._expect(TokenKind.IDENT)
+            table_token = self._table_name()
             table = table_token.text
             table_pos = table_token.position
             alias = self._optional_alias()
@@ -133,7 +152,7 @@ class _Parser:
             ):
                 self._accept(TokenKind.KEYWORD, "INNER")
                 self._expect(TokenKind.KEYWORD, "JOIN")
-                join_table = self._identifier()
+                join_table = self._table_name().text
                 join_alias = self._optional_alias()
                 self._expect(TokenKind.KEYWORD, "ON")
                 left = self._column_ref()
@@ -196,7 +215,7 @@ class _Parser:
     def _insert(self) -> ast.InsertStmt:
         self._expect(TokenKind.KEYWORD, "INSERT")
         self._expect(TokenKind.KEYWORD, "INTO")
-        table_token = self._expect(TokenKind.IDENT)
+        table_token = self._table_name()
         table = table_token.text
         columns: tuple[str, ...] | None = None
         if self._accept(TokenKind.SYMBOL, "("):
@@ -228,7 +247,7 @@ class _Parser:
 
     def _update(self) -> ast.UpdateStmt:
         self._expect(TokenKind.KEYWORD, "UPDATE")
-        table_token = self._expect(TokenKind.IDENT)
+        table_token = self._table_name()
         self._expect(TokenKind.KEYWORD, "SET")
         assignments = [self._assignment()]
         while self._accept(TokenKind.SYMBOL, ","):
@@ -251,7 +270,7 @@ class _Parser:
     def _delete(self) -> ast.DeleteStmt:
         self._expect(TokenKind.KEYWORD, "DELETE")
         self._expect(TokenKind.KEYWORD, "FROM")
-        table_token = self._expect(TokenKind.IDENT)
+        table_token = self._table_name()
         where = None
         if self._accept(TokenKind.KEYWORD, "WHERE"):
             where = self._expression()
@@ -267,7 +286,7 @@ class _Parser:
         self._expect(TokenKind.KEYWORD, "INDEX")
         name = self._identifier()
         self._expect(TokenKind.KEYWORD, "ON")
-        table = self._identifier()
+        table = self._table_name().text
         self._expect(TokenKind.SYMBOL, "(")
         column = self._identifier()
         self._expect(TokenKind.SYMBOL, ")")
@@ -312,12 +331,12 @@ class _Parser:
     def _drop(self) -> ast.DropTableStmt:
         self._expect(TokenKind.KEYWORD, "DROP")
         self._expect(TokenKind.KEYWORD, "TABLE")
-        return ast.DropTableStmt(self._identifier())
+        return ast.DropTableStmt(self._table_name().text)
 
     def _truncate(self) -> ast.TruncateStmt:
         self._expect(TokenKind.KEYWORD, "TRUNCATE")
         self._accept(TokenKind.KEYWORD, "TABLE")
-        return ast.TruncateStmt(self._identifier())
+        return ast.TruncateStmt(self._table_name().text)
 
     def _begin(self) -> ast.BeginStmt:
         self._expect(TokenKind.KEYWORD, "BEGIN")

@@ -156,6 +156,104 @@ class TestGate:
         assert "B.json" in out and "A.json" not in out
 
 
+class TestExplain:
+    """--explain: blame regressions on (stage x entity) cost-ledger rows."""
+
+    def ledger_doc(self, total_ms, rows):
+        return {
+            "final_virtual_ms": total_ms,
+            "ledger": {
+                "rows": [
+                    {
+                        "stage": stage,
+                        "entity": entity,
+                        "self_ms": self_ms,
+                        "self_ns": int(self_ms * 1e6),
+                        "spans": 1,
+                    }
+                    for stage, entity, self_ms in rows
+                ]
+            },
+        }
+
+    def run(self, tmp_path, *extra):
+        argv = [
+            str(tmp_path / "B.json"),
+            "--baseline-dir",
+            str(tmp_path / "baselines"),
+            *extra,
+        ]
+        return bench_gate.main(argv)
+
+    def test_explain_names_the_grown_rows(self, tmp_path, capsys):
+        write_json(
+            tmp_path / "B.json",
+            self.ledger_doc(
+                200.0,
+                [("apply", "parts", 150.0), ("ship", "parts", 50.0)],
+            ),
+        )
+        write_json(
+            tmp_path / "baselines" / "B.json",
+            self.ledger_doc(
+                100.0,
+                [("apply", "parts", 50.0), ("ship", "parts", 50.0)],
+            ),
+        )
+        assert self.run(tmp_path, "--explain") == 1
+        out = capsys.readouterr().out
+        assert "blame apply x parts" in out
+        assert "+100" in out  # +100 virtual ms of growth
+        assert "ship x parts" not in out  # unchanged rows are not blamed
+
+    def test_explain_caps_the_blame_at_three_rows(self, tmp_path, capsys):
+        grown = [(f"stage{i}", "e", 10.0 + i) for i in range(5)]
+        write_json(tmp_path / "B.json", self.ledger_doc(100.0, grown))
+        write_json(
+            tmp_path / "baselines" / "B.json",
+            self.ledger_doc(50.0, [(s, e, 1.0) for s, e, _ in grown]),
+        )
+        assert self.run(tmp_path, "--explain") == 1
+        out = capsys.readouterr().out
+        assert out.count("blame") == 3
+        # The top-3 by absolute growth are the largest current rows.
+        assert "stage4" in out and "stage3" in out and "stage2" in out
+
+    def test_explain_is_silent_without_a_regression(self, tmp_path, capsys):
+        doc = self.ledger_doc(100.0, [("apply", "parts", 50.0)])
+        write_json(tmp_path / "B.json", doc)
+        write_json(tmp_path / "baselines" / "B.json", doc)
+        assert self.run(tmp_path, "--explain") == 0
+        assert "blame" not in capsys.readouterr().out
+
+    def test_explain_tolerates_artifacts_without_a_ledger(
+        self, tmp_path, capsys
+    ):
+        write_json(tmp_path / "B.json", {"final_virtual_ms": 200.0})
+        write_json(
+            tmp_path / "baselines" / "B.json", {"final_virtual_ms": 100.0}
+        )
+        assert self.run(tmp_path, "--explain") == 1
+        assert "blame" not in capsys.readouterr().out
+
+    def test_new_rows_are_blamed_as_new(self, tmp_path, capsys):
+        write_json(
+            tmp_path / "B.json",
+            self.ledger_doc(
+                200.0,
+                [("apply", "parts", 50.0), ("apply", "orders", 80.0)],
+            ),
+        )
+        write_json(
+            tmp_path / "baselines" / "B.json",
+            self.ledger_doc(100.0, [("apply", "parts", 50.0)]),
+        )
+        assert self.run(tmp_path, "--explain") == 1
+        out = capsys.readouterr().out
+        assert "blame apply x orders" in out
+        assert "new row" in out
+
+
 class TestCommittedBaselines:
     """The real artifacts must gate clean against the committed baselines."""
 
@@ -167,6 +265,7 @@ class TestCommittedBaselines:
             "BENCH_flight.json",
             "BENCH_certify.json",
             "BENCH_verify_plans.json",
+            "BENCH_forensics.json",
         )
 
     def test_baselines_exist_for_ci_gated_artifacts(self):

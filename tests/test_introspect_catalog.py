@@ -1,0 +1,221 @@
+"""The SQL-queryable system catalog (repro.obs.introspect)."""
+
+import pytest
+
+from repro.clock import VirtualClock
+from repro.errors import ObservabilityError, SemanticError
+from repro.obs.flight import SLOEngine, TimeSeriesStore
+from repro.obs.flight.attribution import CostAttributor
+from repro.obs.flight.slo import FreshnessSLO
+from repro.obs.introspect import SYS_TABLES, StoreBundle, SystemCatalog
+from repro.obs.introspect.tables import clip
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.pipeline import PipelineRecorder
+from repro.obs.tracing import Tracer
+
+from .test_introspect_forensics import FakeGroup, FakeOp, two_round_recorder
+
+ALL_TABLES = (
+    "sys.events",
+    "sys.metrics",
+    "sys.watermarks",
+    "sys.lag",
+    "sys.series",
+    "sys.cost",
+    "sys.slo",
+    "sys.critical_path",
+)
+
+
+def populated_bundle() -> StoreBundle:
+    metrics = MetricsRegistry()
+    metrics.counter("engine.txn.commits").inc(3)
+    metrics.gauge("transport.queue.depth").set(7)
+    metrics.histogram("warehouse.apply.batch_ms").observe(5.0)
+    metrics.histogram("warehouse.apply.batch_ms").observe(9.0)
+    store = TimeSeriesStore()
+    series = store.series("queue.forensics.depth")
+    series.record(1.0, 4.0)
+    series.record(2.0, 6.0)
+    tracer = Tracer()
+    with tracer.span("warehouse.apply", clock=VirtualClock(), table="parts"):
+        pass
+    engine = SLOEngine(store, [FreshnessSLO("v", target_ms=10.0)])
+    return StoreBundle(
+        recorder=two_round_recorder(),
+        metrics=metrics,
+        series=store,
+        ledger=CostAttributor().attribute(tracer),
+        slo=engine,
+    )
+
+
+class TestReadOnly:
+    def test_dml_and_ddl_are_refused(self):
+        catalog = SystemCatalog(StoreBundle())
+        for sql in (
+            "INSERT INTO parts (part_id) VALUES (1)",
+            "UPDATE parts SET quantity = 0",
+            "DELETE FROM parts",
+            "CREATE TABLE scratch (a INTEGER)",
+        ):
+            with pytest.raises(ObservabilityError, match="read-only"):
+                catalog.query(sql)
+
+    def test_unknown_column_gets_a_positioned_diagnostic(self):
+        catalog = SystemCatalog(StoreBundle())
+        with pytest.raises(SemanticError, match="SEM002"):
+            catalog.query("SELECT bogus FROM sys.events")
+
+    def test_unknown_table_is_a_semantic_error(self):
+        with pytest.raises(SemanticError):
+            SystemCatalog(StoreBundle()).query("SELECT 1 FROM sys.nonsense")
+
+
+class TestEmptyBundle:
+    def test_every_table_answers_count_star_with_zero(self):
+        catalog = SystemCatalog(StoreBundle())
+        assert catalog.table_names == ALL_TABLES
+        for name in ALL_TABLES:
+            assert catalog.query(f"SELECT COUNT(*) FROM {name}").scalar() == 0
+
+    def test_constant_select_needs_no_table(self):
+        assert SystemCatalog(StoreBundle()).query("SELECT 1 + 2").scalar() == 3
+
+
+class TestAdapters:
+    def test_events_reflect_the_lifecycle_log(self):
+        catalog = SystemCatalog(populated_bundle())
+        result = catalog.query(
+            "SELECT kind, COUNT(*) FROM sys.events GROUP BY kind ORDER BY kind ASC"
+        )
+        assert dict(result.rows) == {
+            "acked": 2,
+            "applied": 3,
+            "captured": 3,
+            "checked": 3,
+            "enqueued": 3,
+        }
+
+    def test_metrics_render_counters_gauges_and_histogram_counts(self):
+        catalog = SystemCatalog(populated_bundle())
+        rows = catalog.query("SELECT name, kind, value FROM sys.metrics").rows
+        by_name = {name: (kind, value) for name, kind, value in rows}
+        assert by_name["engine.txn.commits"] == ("counter", 3.0)
+        assert by_name["transport.queue.depth"] == ("gauge", 7.0)
+        # Histograms expose their observation count as the scalar.
+        assert by_name["warehouse.apply.batch_ms"] == ("histogram", 2.0)
+
+    def test_watermarks_carry_source_and_table_rows(self):
+        catalog = SystemCatalog(populated_bundle())
+        source_rows = catalog.query(
+            "SELECT source, captured, settled FROM sys.watermarks "
+            "WHERE table_name IS NULL"
+        ).rows
+        assert source_rows == [("src", 3, 3)]
+        table_rows = catalog.query(
+            "SELECT table_name, captured_ops, applied_ops FROM sys.watermarks "
+            "WHERE table_name IS NOT NULL"
+        ).rows
+        assert table_rows == [("parts", 3, 3)]
+
+    def test_series_sample_index_is_the_global_ordinal(self):
+        catalog = SystemCatalog(populated_bundle())
+        rows = catalog.query(
+            "SELECT sample_index, value FROM sys.series "
+            "WHERE series = 'queue.forensics.depth' ORDER BY sample_index ASC"
+        ).rows
+        assert rows == [(0, 4.0), (1, 6.0)]
+
+    def test_evicted_ring_samples_surface_as_an_index_gap(self):
+        from repro.obs.flight.series import RingSeries, TimeSeriesStore
+
+        store = TimeSeriesStore(capacity=2)
+        ring = store.series("queue.tiny.depth")
+        assert isinstance(ring, RingSeries)
+        for step in range(5):
+            ring.record(float(step), float(step * 10))
+        catalog = SystemCatalog(StoreBundle(series=store))
+        rows = catalog.query(
+            "SELECT sample_index, value FROM sys.series ORDER BY sample_index ASC"
+        ).rows
+        # Five recorded, two retained: ordinals 3 and 4, gap from zero.
+        assert rows == [(3, 30.0), (4, 40.0)]
+
+    def test_cost_rows_come_from_the_ledger(self):
+        catalog = SystemCatalog(populated_bundle())
+        rows = catalog.query("SELECT stage, entity, spans FROM sys.cost").rows
+        assert ("apply", "parts", 1) in rows
+
+    def test_critical_path_is_queryable_and_joins_to_events(self):
+        catalog = SystemCatalog(populated_bundle())
+        stages = catalog.query(
+            "SELECT correlation_id, critical_stage FROM sys.critical_path "
+            "ORDER BY correlation_id ASC"
+        ).rows
+        assert [stage for _id, stage in stages] == ["queue", "queue", "queue"]
+        joined = catalog.query(
+            "SELECT COUNT(*) FROM sys.critical_path cp "
+            "JOIN sys.events e ON cp.correlation_id = e.correlation_id "
+            "WHERE e.kind = 'applied'"
+        ).scalar()
+        assert joined == 3  # one APPLIED event per applied op
+
+    def test_half_open_window_keeps_in_flight_visible(self):
+        recorder = PipelineRecorder()
+        ops = [FakeOp(seq, float(seq)) for seq in (1, 2)]
+        for op in ops:
+            recorder.record_captured(op, "src", op.captured_at)
+        recorder.record_enqueued(FakeGroup(tuple(ops)), 5.0)
+        recorder.record_applied(ops[0], 9.0)
+        catalog = SystemCatalog(StoreBundle(recorder=recorder))
+        assert catalog.query("SELECT COUNT(*) FROM sys.critical_path").scalar() == 1
+        in_flight = catalog.query(
+            "SELECT in_flight FROM sys.watermarks WHERE table_name IS NULL"
+        ).scalar()
+        assert in_flight == 1
+        assert recorder.conservation()["in_flight"] == 1
+
+
+class TestIsolation:
+    def test_queries_cost_the_observed_pipeline_nothing(self):
+        clock = VirtualClock()
+        recorder = PipelineRecorder(clock=clock)
+        op = FakeOp(1, 0.0)
+        recorder.record_captured(op, "src", 0.0)
+        recorder.record_applied(op, 4.0)
+        before = clock.now
+        catalog = SystemCatalog(StoreBundle(recorder=recorder))
+        for name in catalog.table_names:
+            catalog.query(f"SELECT COUNT(*) FROM {name}")
+        catalog.query(
+            "SELECT kind, COUNT(*) FROM sys.events GROUP BY kind"
+        )
+        assert clock.now == before
+
+    def test_snapshots_are_independent_per_query(self):
+        bundle = populated_bundle()
+        catalog = SystemCatalog(bundle)
+        first = catalog.query("SELECT COUNT(*) FROM sys.events").scalar()
+        extra = FakeOp(9, 100.0)
+        bundle.recorder.record_captured(extra, "src", 100.0)
+        second = catalog.query("SELECT COUNT(*) FROM sys.events").scalar()
+        assert second == first + 1
+
+
+class TestClipping:
+    def test_clip_bounds_width_and_charset(self):
+        assert clip("x" * 200, 96) == "x" * 96
+        assert clip(None, 8) == ""
+        assert clip("café → bar", 16) == "café ? bar"
+
+    def test_oversize_event_detail_still_materialises(self):
+        recorder = PipelineRecorder()
+        op = FakeOp(1, 0.0)
+        recorder.record_captured(op, "src", 0.0)
+        recorder.record_rejected_op(op, 1.0, "reason " * 40)
+        catalog = SystemCatalog(StoreBundle(recorder=recorder))
+        detail = catalog.query(
+            "SELECT detail FROM sys.events WHERE kind = 'rejected'"
+        ).scalar()
+        assert len(detail) == 96

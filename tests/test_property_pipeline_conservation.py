@@ -176,3 +176,22 @@ def test_conservation_holds_for_every_pipeline_shape(variant, operations):
     for watermark in recorder.sources.values():
         assert watermark.in_flight == 0
         assert watermark.low_seq == watermark.high_seq
+
+
+@given(st.sampled_from(VARIANTS), _operations)
+@settings(max_examples=10, deadline=None)
+def test_catalog_conservation_query_matches_the_auditor(variant, operations):
+    """The sys.events GROUP BY fold is the auditor, bit for bit.
+
+    Whatever shape the pipeline takes, folding ``SELECT kind, COUNT(*)
+    FROM sys.events GROUP BY kind`` into conservation buckets must
+    reproduce ``PipelineRecorder.conservation()`` exactly — the SQL
+    surface and the auditor count the same events, not approximations
+    of each other.
+    """
+    from repro.bench.introspect import _conservation_from_sql
+    from repro.obs.introspect import StoreBundle, SystemCatalog
+
+    recorder, _components = run_pipeline(variant, operations)
+    catalog = SystemCatalog(StoreBundle(recorder=recorder))
+    assert _conservation_from_sql(catalog) == recorder.conservation()

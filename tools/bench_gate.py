@@ -19,6 +19,13 @@ Usage::
     python tools/bench_gate.py BENCH_compaction.json BENCH_health.json
     python tools/bench_gate.py --update BENCH_*.json   # rewrite baselines
     python tools/bench_gate.py --tolerance 0.05 BENCH_flight.json
+    python tools/bench_gate.py --explain               # blame cost rows
+
+With ``--explain``, an artifact that regresses *and* embeds a cost
+ledger (``ledger.rows`` — the same per-(stage x entity) rows the system
+catalog serves as ``sys.cost``) gets a blame section: the top-3 rows by
+absolute virtual-time growth over the baseline ledger, so the failure
+names the stage and entity that got slower instead of just the leaf.
 
 Exit status: 0 all gated artifacts within tolerance, 1 regression or
 missing baseline, 2 usage error.
@@ -51,6 +58,7 @@ GATED_ARTIFACTS = (
     "BENCH_flight.json",
     "BENCH_certify.json",
     "BENCH_verify_plans.json",
+    "BENCH_forensics.json",
 )
 
 
@@ -81,12 +89,54 @@ def flatten(node: object, prefix: str = "") -> dict[str, float]:
     return leaves
 
 
+def cost_blame(
+    name: str, current_doc: object, baseline_doc: object, top: int = 3
+) -> list[str]:
+    """Blame a regression on specific cost-ledger rows.
+
+    Diffs the embedded ``ledger.rows`` (per-(stage x entity) self time)
+    of artifact vs baseline and returns the ``top`` rows by absolute
+    virtual-ms growth — empty when either document carries no ledger.
+    """
+
+    def rows(doc: object) -> dict[tuple[str, str], float]:
+        if not isinstance(doc, dict):
+            return {}
+        ledger = doc.get("ledger")
+        if not isinstance(ledger, dict):
+            return {}
+        return {
+            (row["stage"], row["entity"]): float(row["self_ms"])
+            for row in ledger.get("rows", [])
+        }
+
+    current, expected = rows(current_doc), rows(baseline_doc)
+    if not current or not expected:
+        return []
+    grown = []
+    for key, now in current.items():
+        delta = now - expected.get(key, 0.0)
+        if delta > 0:
+            grown.append((delta, key))
+    grown.sort(key=lambda item: (-item[0], item[1]))
+    lines = []
+    for delta, (stage, entity) in grown[:top]:
+        was = expected.get((stage, entity), 0.0)
+        now = current[(stage, entity)]
+        growth = f"+{(now / was - 1.0) * 100.0:.1f}%" if was > 0 else "new row"
+        lines.append(
+            f"{name}:   blame {stage} x {entity}: "
+            f"+{delta:g} virtual ms ({was:g} -> {now:g}, {growth})"
+        )
+    return lines
+
+
 def gate_artifact(
-    artifact: Path, baseline: Path, tolerance: float
+    name: str, current_doc: object, baseline_doc: object, tolerance: float
 ) -> list[str]:
     """Compare one artifact against its baseline; return failure lines."""
-    current = flatten(json.loads(artifact.read_text(encoding="utf-8")))
-    expected = flatten(json.loads(baseline.read_text(encoding="utf-8")))
+    current = flatten(current_doc)
+    expected = flatten(baseline_doc)
     failures: list[str] = []
     for path in sorted(current):
         if not is_time_leaf(path):
@@ -99,7 +149,7 @@ def gate_artifact(
         if now > was * (1.0 + tolerance):
             growth = (now / was - 1.0) * 100.0
             failures.append(
-                f"{artifact.name}: {path} regressed {growth:.1f}% "
+                f"{name}: {path} regressed {growth:.1f}% "
                 f"({was:g} -> {now:g} virtual, tolerance "
                 f"{tolerance * 100:.0f}%)"
             )
@@ -132,6 +182,13 @@ def main(argv: list[str] | None = None) -> int:
         "--update",
         action="store_true",
         help="copy the given artifacts over their baselines instead of gating",
+    )
+    parser.add_argument(
+        "--explain",
+        action="store_true",
+        help="on a regression, diff the artifact's embedded cost ledger "
+        "(sys.cost rows) against the baseline's and print the top-3 "
+        "(stage x entity) rows by virtual-time growth",
     )
     args = parser.parse_args(argv)
     if not args.artifacts:
@@ -167,7 +224,16 @@ def main(argv: list[str] | None = None) -> int:
                 f"{artifact}"
             )
             continue
-        failures.extend(gate_artifact(artifact, baseline, args.tolerance))
+        current_doc = json.loads(artifact.read_text(encoding="utf-8"))
+        baseline_doc = json.loads(baseline.read_text(encoding="utf-8"))
+        regressions = gate_artifact(
+            artifact.name, current_doc, baseline_doc, args.tolerance
+        )
+        if regressions and args.explain:
+            regressions.extend(
+                cost_blame(artifact.name, current_doc, baseline_doc)
+            )
+        failures.extend(regressions)
         gated += 1
     for line in failures:
         print(line)

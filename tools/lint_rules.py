@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Project-specific AST lint rules for the ``repro`` package.
 
-Seven disciplines the standard linters cannot express:
+Nine disciplines the standard linters cannot express:
 
 **REPRO001 — virtual-clock discipline.**  All timing inside ``src/repro``
 is deterministic virtual time (:mod:`repro.clock`); wall-clock reads and
@@ -86,6 +86,18 @@ batched-apply paths (``warehouse/opdelta_integrator.py``,
 lookups (a bare ``rule_for(...)`` name call is the memo and stays
 legal).  Outer per-component/per-transaction loops may still read the
 clock: per-group timing is part of the reporting contract.
+
+**REPRO009 — observability state is read through the system catalog.**
+The ``sys.*`` system catalog (:mod:`repro.obs.introspect`) is the
+supported read surface over observability stores; code outside
+``repro/obs/`` that reaches into a store's private collections
+(``log._events``, ``store._series``, ``ring._samples``, ...) couples
+itself to ring-buffer internals the stores are free to reorganise, and
+bypasses the snapshot/zero-cost guarantees the catalog enforces.  Use
+the stores' public accessors (``EventLog.counts`` / iteration,
+``RingSeries.window()``, ``MetricsRegistry.instruments()``) or query
+the catalog.  Accesses through ``self``/``cls`` stay legal — a class
+may of course manage its own private state.
 
 Usage::
 
@@ -199,6 +211,27 @@ BATCH_APPLY_SUFFIXES = (
 #: A bare-name ``rule_for(...)`` call is a memoised closure and legal.
 RESOLUTION_METHODS = frozenset(
     {"rule_for", "classify_operation", "plan_view", "plan_catalog"}
+)
+
+#: Path fragment marking the observability package (REPRO009): inside
+#: it, stores may touch each other's internals; outside, reads go
+#: through public accessors or the system catalog.
+OBS_PATH_FRAGMENT = "repro/obs/"
+
+#: Private collections of the observability stores (REPRO009): the
+#: event log's ring, the time-series rings and their samples, the
+#: metrics registry's instrument map, the SLO engine's alert state and
+#: the cost ledger's row map.
+OBS_PRIVATE_ATTRS = frozenset(
+    {
+        "_events",
+        "_series",
+        "_samples",
+        "_instruments",
+        "_firing",
+        "_queues",
+        "_lag_seen",
+    }
 )
 
 #: Registry methods whose first argument is a metric name.
@@ -356,6 +389,7 @@ def lint_file(path: Path) -> list[str]:
     rule_exempt = normalized.endswith(DELTA_RULE_EXEMPT_SUFFIXES) or (
         "verify" in path.name
     )
+    obs_private_banned = OBS_PATH_FRAGMENT not in normalized
 
     if COLUMNAR_PATH_FRAGMENT in normalized:
         violations.extend(_hot_loop_violations(path, tree, min_depth=1))
@@ -381,6 +415,22 @@ def lint_file(path: Path) -> list[str]:
                         "repro.semantics.planner.ViewMaintenancePlanner"
                     )
             continue
+        if (
+            obs_private_banned
+            and isinstance(node, ast.Attribute)
+            and node.attr in OBS_PRIVATE_ATTRS
+            and not (
+                isinstance(node.value, ast.Name)
+                and node.value.id in ("self", "cls")
+            )
+        ):
+            violations.append(
+                f"{path}:{node.lineno}: REPRO009 access to the private "
+                f"obs-store collection '.{node.attr}' outside repro/obs/; "
+                "read observability state through the stores' public "
+                "accessors or query the sys.* system catalog "
+                "(repro.obs.introspect.SystemCatalog)"
+            )
         if not isinstance(node, ast.Call):
             continue
         name = dotted_name(node.func)
